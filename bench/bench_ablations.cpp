@@ -1,0 +1,135 @@
+// Ablations of XingTian's design decisions (DESIGN.md Section 4). These do
+// not correspond to a single paper figure; they isolate the mechanisms the
+// paper credits for its results:
+//   1. sender-push vs receiver-pull channel     (the core claim)
+//   2. zero-copy object store vs deep copies    (Section 3.2.1)
+//   3. LZ4 compression threshold on a slow link (Section 4.1)
+//   4. learner-local vs remote replay sampling  (Section 3.2.1 / Fig. 9)
+
+#include "bench_util.h"
+
+#include "baselines/pull_dummy.h"
+#include "baselines/remote_replay.h"
+#include "common/clock.h"
+#include "framework/dummy_transmission.h"
+
+namespace {
+
+using namespace xt;
+using namespace xt::bench;
+
+DummyConfig dummy_base() {
+  DummyConfig config;
+  config.explorers_per_machine = {8};
+  config.message_bytes = 1 << 20;
+  config.messages_per_explorer = 10;
+  config.broker.compression.enabled = false;
+  config.broker.ipc_bandwidth_bytes_per_sec = kIpcBandwidth;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablations: XingTian design decisions");
+
+  // --- 1. push vs pull ------------------------------------------------------
+  section("1. sender-push channel vs receiver-pull RPC (8 explorers, 1 MB)");
+  {
+    const DummyResult push = run_dummy_transmission_xingtian(dummy_base());
+    baselines::RpcConfig rpc;
+    rpc.ipc_bandwidth_bytes_per_sec = kIpcBandwidth;
+    const DummyResult pull =
+        baselines::run_dummy_transmission_pullhub(dummy_base(), rpc);
+    std::printf("push: %.2f MB/s   pull: %.2f MB/s   (%.2fx)\n",
+                push.throughput_mbps, pull.throughput_mbps,
+                push.throughput_mbps / pull.throughput_mbps);
+    shape_check("push-based channel beats pull-based RPC",
+                push.throughput_mbps > pull.throughput_mbps);
+  }
+
+  // --- 2. zero-copy vs deep-copy store --------------------------------------
+  section("2. zero-copy object store vs deep-copy ablation (16 MB messages)");
+  {
+    DummyConfig zero = dummy_base();
+    zero.message_bytes = 16 << 20;
+    zero.messages_per_explorer = 2;
+    zero.explorers_per_machine = {4};
+    DummyConfig deep = zero;
+    deep.broker.deep_copy_store = true;
+    const DummyResult zero_result = run_dummy_transmission_xingtian(zero);
+    const DummyResult deep_result = run_dummy_transmission_xingtian(deep);
+    std::printf("zero-copy: %.2f MB/s   deep-copy: %.2f MB/s\n",
+                zero_result.throughput_mbps, deep_result.throughput_mbps);
+    shape_check("zero-copy store is at least as fast as deep copies",
+                zero_result.throughput_mbps >= 0.95 * deep_result.throughput_mbps);
+  }
+
+  // --- 3. compression threshold over a slow link -----------------------------
+  section("3. LZ4 compression over the 118 MB/s NIC (compressible 4 MB bodies)");
+  {
+    DummyConfig base = dummy_base();
+    base.explorers_per_machine = {0, 4};
+    base.message_bytes = 4 << 20;
+    base.messages_per_explorer = 3;
+    base.compressible_payload = true;
+    base.link.bandwidth_bytes_per_sec = kNicBandwidth;
+    base.broker.ipc_bandwidth_bytes_per_sec = 0;  // isolate the link
+
+    DummyConfig with_compression = base;
+    with_compression.broker.compression.enabled = true;  // 1 MB threshold
+    DummyConfig without_compression = base;
+    without_compression.broker.compression.enabled = false;
+
+    const DummyResult on = run_dummy_transmission_xingtian(with_compression);
+    const DummyResult off = run_dummy_transmission_xingtian(without_compression);
+    std::printf("compression on:  %.2f MB/s effective (%.1f MB crossed the NIC)\n",
+                on.throughput_mbps,
+                static_cast<double>(on.cross_machine_bytes) / 1e6);
+    std::printf("compression off: %.2f MB/s effective (%.1f MB crossed the NIC)\n",
+                off.throughput_mbps,
+                static_cast<double>(off.cross_machine_bytes) / 1e6);
+    shape_check("LZ4 shrinks NIC traffic for compressible bodies (>=4x)",
+                on.cross_machine_bytes * 4 <= off.cross_machine_bytes);
+    shape_check("compression raises effective throughput on the slow link",
+                on.throughput_mbps > off.throughput_mbps);
+  }
+
+  // --- 4. learner-local vs remote replay ------------------------------------
+  section("4. learner-local replay vs replay actor behind RPC (32 x ~30 KB)");
+  {
+    constexpr std::size_t kBatch = 32;
+    constexpr int kRounds = 50;
+    // Build identical contents in both stores.
+    UniformReplay local(4'096, 1);
+    baselines::RemoteReplayActor remote(4'096, 1, /*dispatch_ns=*/200'000);
+    std::vector<Transition> transitions;
+    for (int i = 0; i < 512; ++i) {
+      Transition t;
+      t.observation.assign(128, static_cast<float>(i));
+      t.next_observation.assign(128, static_cast<float>(i + 1));
+      fill_frame(t.frame, 15'000, i);
+      local.add(t);
+      transitions.push_back(std::move(t));
+      if (transitions.size() == 16) {
+        remote.insert(transitions);
+        transitions.clear();
+      }
+    }
+
+    const Stopwatch local_clock;
+    for (int i = 0; i < kRounds; ++i) (void)local.sample(kBatch);
+    const double local_ms = local_clock.elapsed_ms() / kRounds;
+
+    const Stopwatch remote_clock;
+    for (int i = 0; i < kRounds; ++i) (void)remote.sample(kBatch);
+    const double remote_ms = remote_clock.elapsed_ms() / kRounds;
+
+    std::printf("local sample: %.3f ms   remote-actor sample: %.3f ms (%.1fx)\n",
+                local_ms, remote_ms, remote_ms / std::max(1e-9, local_ms));
+    shape_check("remote replay sampling >> local sampling (paper: 62 vs 8 ms)",
+                remote_ms > 3.0 * local_ms);
+  }
+
+  return finish("bench_ablations");
+}

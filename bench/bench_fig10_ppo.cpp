@@ -1,0 +1,109 @@
+// Fig. 10 of the paper: PPO throughput (a) and the rollout transmission
+// latency vs training time decomposition (b).
+//
+// Paper: even though PPO is on-policy and synchronous, XingTian-based PPO
+// averages 30.91% higher throughput: each of the 10 explorers pushes its
+// fragment the moment it finishes, so fast explorers' transmissions overlap
+// slow explorers' environment interaction, and the learner actually waits
+// only ~114 ms for the full 138.6 MB of rollouts (transmitting them takes
+// ~256 ms; RLLib's learner waits ~368 ms before every ~1298 ms training).
+
+#include "bench_util.h"
+
+#include "baselines/pull_driver.h"
+#include "framework/runtime.h"
+
+namespace {
+
+using namespace xt;
+using namespace xt::bench;
+
+constexpr int kExplorers = 4;  // scaled from the paper's 10
+constexpr double kWallSeconds = 12.0;
+
+AlgoSetup make_setup() {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kPpo;
+  setup.env_name = "SynthBreakout";
+  setup.seed = 15;
+  setup.ppo.hidden = {64, 64};
+  setup.ppo.fragment_len = 500;
+  setup.ppo.n_explorers = kExplorers;
+  setup.ppo.epochs = 2;
+  setup.ppo.minibatch = 512;
+  setup.ppo.frame_bytes_per_step = kAtariFrameBytes;  // ~14 MB per fragment
+  return setup;
+}
+
+void print_series(const char* label, const std::vector<ThroughputSeries::Point>& series) {
+  std::printf("%s steps/s over time:", label);
+  for (std::size_t i = 0; i < series.size(); i += 2) {
+    std::printf(" %.0f", series[i].rate);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 10: PPO Throughput and Transmission Time Analysis");
+  std::printf("%d synchronous explorers (paper: 10), ~14 MB fragments\n",
+              kExplorers);
+
+  const AlgoSetup setup = make_setup();
+
+  DeploymentConfig xt_deploy;
+  xt_deploy.explorers_per_machine = {kExplorers};
+  xt_deploy.broker.compression.enabled = false;
+  xt_deploy.explorer_send_capacity = 2;
+  xt_deploy.broker.ipc_bandwidth_bytes_per_sec = kIpcBandwidth;
+  xt_deploy.max_steps_consumed = 0;
+  xt_deploy.max_seconds = kWallSeconds;
+  XingTianRuntime runtime(setup, xt_deploy);
+  const RunReport xt_report = runtime.run();
+
+  baselines::PullDeployment pull_deploy;
+  pull_deploy.explorers_per_machine = {kExplorers};
+  pull_deploy.rpc.ipc_bandwidth_bytes_per_sec = kIpcBandwidth;
+  pull_deploy.max_steps_consumed = 0;
+  pull_deploy.max_seconds = kWallSeconds;
+  const RunReport pull_report = baselines::run_pullhub(setup, pull_deploy);
+
+  section("Fig. 10(a): throughput");
+  print_series("XingTian", xt_report.throughput_series);
+  print_series("Pull    ", pull_report.throughput_series);
+  std::printf("average: XingTian %.0f steps/s, pull %.0f steps/s (+%.1f%%; "
+              "paper: +30.91%%)\n",
+              xt_report.avg_throughput, pull_report.avg_throughput,
+              100.0 * (xt_report.avg_throughput / pull_report.avg_throughput -
+                       1.0));
+
+  section("Fig. 10(b): latency decomposition (ms per iteration)");
+  std::printf("%-44s %10.2f   (paper: ~368)\n",
+              "Pull: wait to collect all fragments", pull_report.mean_wait_ms);
+  std::printf("%-44s %10.2f   (paper: ~256)\n",
+              "XingTian: per-message transmission",
+              xt_report.mean_transmission_ms);
+  std::printf("%-44s %10.2f   (paper: ~114)\n",
+              "XingTian: actual wait before training", xt_report.mean_wait_ms);
+  std::printf("%-44s %10.2f   (paper: ~1298 on a V100)\n", "training time",
+              xt_report.mean_train_ms);
+
+  section("shape checks vs paper Fig. 10");
+  shape_check("XingTian PPO throughput exceeds pull-based (paper: +30.91%)",
+              xt_report.avg_throughput > 1.1 * pull_report.avg_throughput);
+  shape_check("XingTian actual wait < pull-based wait (114 vs 368)",
+              xt_report.mean_wait_ms < pull_report.mean_wait_ms);
+  // The paper's learner waits (114 ms) less than one message transmission
+  // (256 ms) because ten explorers' interactions run on spare cores while
+  // transmissions overlap; a 1-core host serializes the interactions, so the
+  // reproducible form of the same claim is the differential against the
+  // pull baseline, which blocks for every transfer on top of the identical
+  // interaction cost.
+  shape_check(
+      "XingTian waits less than half of the pull-based learner's wait "
+      "(overlap works even for on-policy PPO; paper: 114 vs 368)",
+      xt_report.mean_wait_ms < 0.5 * pull_report.mean_wait_ms);
+
+  return finish("bench_fig10_ppo");
+}

@@ -1,0 +1,121 @@
+// Fig. 4 of the paper: data transmission throughput / end-to-end latency of
+// the dummy DRL algorithm in a single machine, for message sizes from KBs to
+// MBs, with (a) one explorer and (b) 16 explorers.
+//
+// Paper results (64 MB messages): XingTian 71.01 MB/s vs RLLib ~35 MB/s with
+// one explorer (+103%); XingTian 967.91 MB/s vs RLLib ~465 MB/s with 16
+// explorers (+108%); Launchpad+Reverb < 2 MB/s in both cases, flat in the
+// number of explorers.
+//
+// Shape to reproduce: XingTian >= ~2x the pull-based baseline at every size,
+// >= 10x the buffer-server baseline, and the buffer server does NOT speed up
+// with more explorers.
+
+#include "bench_util.h"
+
+#include "baselines/buffer_hub.h"
+#include "baselines/pull_dummy.h"
+#include "framework/dummy_transmission.h"
+
+namespace {
+
+using namespace xt;
+using namespace xt::bench;
+
+struct SizePoint {
+  std::size_t bytes;
+  int messages;  ///< per explorer (paper uses 20; fewer for huge messages)
+};
+
+const SizePoint kSizes[] = {
+    {4 * 1024, 20}, {64 * 1024, 20}, {1024 * 1024, 10},
+    {4 * 1024 * 1024, 3}, {16 * 1024 * 1024, 2},
+};
+
+DummyConfig base_config(int explorers, const SizePoint& point) {
+  DummyConfig config;
+  config.explorers_per_machine = {explorers};
+  config.message_bytes = point.bytes;
+  config.messages_per_explorer = point.messages;
+  config.broker.compression.enabled = false;  // raw transmission, as measured
+  config.broker.ipc_bandwidth_bytes_per_sec = kIpcBandwidth;
+  return config;
+}
+
+baselines::RpcConfig pull_config() {
+  baselines::RpcConfig rpc;
+  rpc.ipc_bandwidth_bytes_per_sec = kIpcBandwidth;
+  return rpc;
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 4: Data Transmission in a Single Machine (dummy DRL algorithm)");
+
+  double buffer_throughput_1 = 0.0, buffer_throughput_16 = 0.0;
+
+  for (int explorers : {1, 16}) {
+    section(explorers == 1 ? "Fig. 4(a): one explorer"
+                           : "Fig. 4(b): 16 explorers");
+    std::printf("%12s %16s %16s %16s %14s %14s\n", "msg size", "XingTian MB/s",
+                "Pull MB/s", "Buffer MB/s", "XT lat (s)", "Pull lat (s)");
+
+    for (const SizePoint& point : kSizes) {
+      const DummyResult xt_result =
+          run_dummy_transmission_xingtian(base_config(explorers, point));
+      const DummyResult pull_result = baselines::run_dummy_transmission_pullhub(
+          base_config(explorers, point), pull_config());
+
+      // The buffer server is so slow that we only probe it at small sizes
+      // (the paper similarly reports it flat below 2 MB/s everywhere).
+      double buffer_mbps = -1.0;
+      if (point.bytes <= 256 * 1024) {
+        DummyConfig config = base_config(explorers, point);
+        config.messages_per_explorer = 2;
+        const DummyResult buffer_result =
+            baselines::run_dummy_transmission_bufferhub(
+                config, baselines::ChunkedTransferConfig{});
+        buffer_mbps = buffer_result.throughput_mbps;
+        if (point.bytes == 64 * 1024) {
+          (explorers == 1 ? buffer_throughput_1 : buffer_throughput_16) =
+              buffer_mbps;
+        }
+      }
+
+      char buffer_cell[32];
+      if (buffer_mbps >= 0) {
+        std::snprintf(buffer_cell, sizeof(buffer_cell), "%16.2f", buffer_mbps);
+      } else {
+        std::snprintf(buffer_cell, sizeof(buffer_cell), "%16s", "-");
+      }
+      std::printf("%12s %16.2f %16.2f %s %14.3f %14.3f\n",
+                  format_bytes(static_cast<double>(point.bytes)).c_str(),
+                  xt_result.throughput_mbps, pull_result.throughput_mbps,
+                  buffer_cell, xt_result.end_to_end_seconds,
+                  pull_result.end_to_end_seconds);
+
+      if (point.bytes >= 64 * 1024) {
+        shape_check("XingTian >= 1.5x pull-based at " +
+                        format_bytes(static_cast<double>(point.bytes)) + ", " +
+                        std::to_string(explorers) + " explorer(s) (paper: >= 2x)",
+                    xt_result.throughput_mbps >=
+                        1.5 * pull_result.throughput_mbps);
+      }
+      if (buffer_mbps >= 0 && point.bytes >= 64 * 1024) {
+        shape_check("XingTian >= 10x buffer-server at " +
+                        format_bytes(static_cast<double>(point.bytes)) + ", " +
+                        std::to_string(explorers) + " explorer(s)",
+                    xt_result.throughput_mbps >= 10.0 * buffer_mbps);
+      }
+    }
+  }
+
+  section("buffer-server scaling (paper: more explorers do not help)");
+  std::printf("buffer throughput @64KB: 1 explorer %.2f MB/s, 16 explorers %.2f MB/s\n",
+              buffer_throughput_1, buffer_throughput_16);
+  shape_check("buffer-server throughput flat in explorer count (within 2x)",
+              buffer_throughput_16 < 2.0 * buffer_throughput_1);
+
+  return finish("bench_fig4_single");
+}

@@ -1,0 +1,113 @@
+// Fig. 8 of the paper: IMPALA throughput over time (a), the rollout
+// transmission / actual-wait / training latency decomposition (b), and the
+// CDF of the learner's wait-for-rollouts time in XingTian (c).
+//
+// Paper: XingTian-based IMPALA averages 70.71% higher throughput; in RLLib
+// the learner waits ~301 ms per 32 ms training session; in XingTian a
+// message of the same 13.8 MB takes ~212 ms to transmit, yet the learner's
+// *actual* wait is only ~11 ms because transmissions overlap training
+// (96.61% of waits are under 20 ms).
+
+#include "bench_util.h"
+
+#include "baselines/pull_driver.h"
+#include "framework/runtime.h"
+
+namespace {
+
+using namespace xt;
+using namespace xt::bench;
+
+constexpr int kExplorers = 6;      // scaled from the paper's 32
+constexpr double kWallSeconds = 10.0;
+
+AlgoSetup make_setup() {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.env_name = "SynthBreakout";
+  setup.seed = 9;
+  setup.impala.hidden = {64, 64};
+  setup.impala.fragment_len = 500;
+  setup.impala.frame_bytes_per_step = kAtariFrameBytes;  // ~14 MB fragments
+  return setup;
+}
+
+void print_series(const char* label, const std::vector<ThroughputSeries::Point>& series) {
+  std::printf("%s steps/s over time:", label);
+  for (std::size_t i = 0; i < series.size(); i += 2) {
+    std::printf(" %.0f", series[i].rate);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 8: IMPALA Throughput and Transmission Time Analysis");
+  std::printf("%d explorers (paper: 32), 500-step fragments of ~14 MB, "
+              "IPC %.0f MB/s\n", kExplorers, kIpcBandwidth / 1e6);
+
+  const AlgoSetup setup = make_setup();
+
+  DeploymentConfig xt_deploy;
+  xt_deploy.explorers_per_machine = {kExplorers};
+  xt_deploy.broker.compression.enabled = false;
+  xt_deploy.explorer_send_capacity = 2;  // plasma-style backpressure
+  xt_deploy.broker.ipc_bandwidth_bytes_per_sec = kIpcBandwidth;
+  xt_deploy.max_steps_consumed = 0;
+  xt_deploy.max_seconds = kWallSeconds;
+  XingTianRuntime runtime(setup, xt_deploy);
+  const RunReport xt_report = runtime.run();
+
+  baselines::PullDeployment pull_deploy;
+  pull_deploy.explorers_per_machine = {kExplorers};
+  pull_deploy.rpc.ipc_bandwidth_bytes_per_sec = kIpcBandwidth;
+  pull_deploy.max_steps_consumed = 0;
+  pull_deploy.max_seconds = kWallSeconds;
+  const RunReport pull_report = baselines::run_pullhub(setup, pull_deploy);
+
+  section("Fig. 8(a): throughput");
+  print_series("XingTian", xt_report.throughput_series);
+  print_series("Pull    ", pull_report.throughput_series);
+  std::printf("average: XingTian %.0f steps/s, pull %.0f steps/s (+%.1f%%; "
+              "paper: +70.71%%)\n",
+              xt_report.avg_throughput, pull_report.avg_throughput,
+              100.0 * (xt_report.avg_throughput / pull_report.avg_throughput -
+                       1.0));
+
+  section("Fig. 8(b): latency decomposition (ms)");
+  std::printf("%-34s %10.2f   (paper: ~301)\n",
+              "Pull: rollout transmission", pull_report.mean_transmission_ms);
+  std::printf("%-34s %10.2f   (paper: ~212)\n",
+              "XingTian: rollout transmission", xt_report.mean_transmission_ms);
+  std::printf("%-34s %10.2f   (paper: ~11)\n", "XingTian: actual wait",
+              xt_report.mean_wait_ms);
+  std::printf("%-34s %10.2f   (paper: ~32 on a V100)\n", "training time",
+              xt_report.mean_train_ms);
+
+  section("Fig. 8(c): CDF of XingTian wait-for-rollouts time");
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.9661}) {
+    std::size_t idx = static_cast<std::size_t>(q * (xt_report.wait_cdf.size() - 1));
+    if (!xt_report.wait_cdf.empty()) {
+      std::printf("  p%-5.2f %8.2f ms\n", q * 100,
+                  xt_report.wait_cdf[idx].first);
+    }
+  }
+
+  section("shape checks vs paper Fig. 8");
+  shape_check("XingTian throughput exceeds pull-based (paper: +70.71%)",
+              xt_report.avg_throughput > 1.15 * pull_report.avg_throughput);
+  shape_check("pull: transmission dominates training (301 vs 32 in paper)",
+              pull_report.mean_transmission_ms > xt_report.mean_train_ms);
+  // On the paper's 72-core testbed 32 explorers saturate the learner and the
+  // wait collapses to ~11 ms; on a 1-core host the learner is periodically
+  // producer-starved, so we accept any wait clearly below the per-message
+  // transmission latency.
+  shape_check(
+      "XingTian actual wait below its own transmission latency (11 vs 212)",
+      xt_report.mean_wait_ms < 0.75 * xt_report.mean_transmission_ms);
+  shape_check("XingTian actual wait < pull transmission wait",
+              xt_report.mean_wait_ms < pull_report.mean_transmission_ms);
+
+  return finish("bench_fig8_impala");
+}

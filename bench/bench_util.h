@@ -1,0 +1,62 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction benchmark binaries: banner and
+// table printing, the end-of-run shape checks (does the qualitative result
+// match the paper — who wins, by roughly what factor), and the common
+// modeled-cost constants documented in DESIGN.md / EXPERIMENTS.md.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace xt::bench {
+
+using xt::format_bytes;
+using xt::format_si;
+
+/// Effective serialize+copy bandwidth of the paper's Python/Arrow IPC stack
+/// (13.8 MB IMPALA rollouts took ~212 ms through the XingTian channel,
+/// paper Fig. 8(b)). Both frameworks are paced at this same rate so that
+/// measured differences isolate the communication *model*.
+inline constexpr double kIpcBandwidth = 65e6;
+
+/// NIC bandwidth between the paper's machines as measured by iperf (Fig. 5).
+inline constexpr double kNicBandwidth = 118.04e6;
+
+/// Per-step frame payload giving rollout messages the paper's wire size
+/// (an Atari step is ~28 KB of stacked frames; 500 steps ~ 13.9 MB,
+/// matching Table 1's IMPALA rollout size).
+inline constexpr std::size_t kAtariFrameBytes = 28'000;
+
+inline int g_shape_failures = 0;
+
+inline void banner(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+inline void section(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+/// Record a qualitative shape check against the paper's result.
+inline void shape_check(const std::string& description, bool ok) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK  " : "SHAPE-FAIL", description.c_str());
+  if (!ok) ++g_shape_failures;
+}
+
+/// Print the shape summary; returns the process exit code.
+inline int finish(const char* name) {
+  if (g_shape_failures == 0) {
+    std::printf("\n%s: all shape checks passed\n", name);
+  } else {
+    std::printf("\n%s: %d shape check(s) FAILED\n", name, g_shape_failures);
+  }
+  // Shape deviations are reported, not fatal: they flag where this host's
+  // timing differs from the paper's testbed (see EXPERIMENTS.md).
+  return 0;
+}
+
+}  // namespace xt::bench

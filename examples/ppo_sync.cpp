@@ -1,0 +1,48 @@
+// Synchronous PPO with asynchronous transmission — the paper's key point
+// that XingTian accelerates even *on-policy* algorithms (Section 3.2.1):
+// explorers run their environments asynchronously, and a fast explorer's
+// rollout transmission overlaps with slow explorers' interaction, so the
+// learner's actual wait is much shorter than the total transmission time.
+//
+// Run: ./build/examples/ppo_sync [n_explorers] [iterations]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "framework/runtime.h"
+
+int main(int argc, char** argv) {
+  const int n_explorers = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  xt::AlgoSetup setup;
+  setup.kind = xt::AlgoKind::kPpo;
+  setup.env_name = "CartPole";
+  setup.seed = 17;
+  setup.ppo.hidden = {64, 64};
+  setup.ppo.fragment_len = 200;  // the paper's CartPole fragment size
+  setup.ppo.n_explorers = static_cast<std::size_t>(n_explorers);
+  setup.ppo.epochs = 4;
+  setup.ppo.minibatch = 256;
+
+  xt::DeploymentConfig deployment;
+  deployment.explorers_per_machine = {n_explorers};
+  deployment.max_steps_consumed =
+      static_cast<std::uint64_t>(iterations) * n_explorers * 200;
+  deployment.max_seconds = 180.0;
+
+  std::printf("synchronous PPO, %d explorers x 200-step fragments, "
+              "%d iterations...\n", n_explorers, iterations);
+  xt::XingTianRuntime runtime(setup, deployment);
+  const xt::RunReport report = runtime.run();
+
+  std::printf("%d training iterations, %llu steps, avg return %.1f\n",
+              report.training_sessions,
+              static_cast<unsigned long long>(report.steps_consumed),
+              report.avg_episode_return);
+  std::printf("per-iteration: train %.1f ms; learner waited only %.1f ms for "
+              "all %d fragments (transmission per message: %.1f ms)\n",
+              report.mean_train_ms, report.mean_wait_ms, n_explorers,
+              report.mean_transmission_ms);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: the two faces of XingTian-CPP in ~60 lines.
+//
+//  1. The asynchronous communication channel on its own — the dummy DRL
+//     algorithm of the paper's Section 5.1 (explorers push, learner receives
+//     rounds asynchronously).
+//  2. A complete DRL run — IMPALA on CartPole with two explorers, driven by
+//     the decentralized runtime until the learner has consumed a step budget.
+//
+// Build: cmake -B build -G Ninja && cmake --build build --target quickstart
+// Run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "framework/dummy_transmission.h"
+#include "framework/runtime.h"
+
+int main() {
+  // ---- 1. Raw channel throughput -----------------------------------------
+  xt::DummyConfig dummy;
+  dummy.explorers_per_machine = {4};  // 4 explorers, single machine
+  dummy.message_bytes = 1 << 20;      // 1 MB messages
+  dummy.messages_per_explorer = 20;   // the paper's 20 rounds
+  dummy.broker.compression.enabled = false;
+
+  const xt::DummyResult channel = xt::run_dummy_transmission_xingtian(dummy);
+  std::printf("channel: %llu messages (%.1f MB) in %.3f s -> %.1f MB/s\n",
+              static_cast<unsigned long long>(channel.messages_received),
+              static_cast<double>(channel.bytes_received) / 1e6,
+              channel.end_to_end_seconds, channel.throughput_mbps);
+
+  // ---- 2. A real DRL algorithm -------------------------------------------
+  xt::AlgoSetup setup;
+  setup.kind = xt::AlgoKind::kImpala;  // actor-critic, off-policy (V-trace)
+  setup.env_name = "CartPole";
+  setup.seed = 7;
+  setup.impala.hidden = {32, 32};
+  setup.impala.fragment_len = 100;  // steps per explorer->learner message
+
+  xt::DeploymentConfig deployment;
+  deployment.explorers_per_machine = {2};  // 2 explorers on one machine
+  deployment.max_steps_consumed = 20'000;  // training goal
+  deployment.max_seconds = 60.0;           // safety net
+
+  xt::XingTianRuntime runtime(setup, deployment);
+  const xt::RunReport report = runtime.run();
+
+  std::printf("impala:  %llu steps in %.1f s (%.0f steps/s), "
+              "%d train sessions, avg return %.1f over %llu episodes\n",
+              static_cast<unsigned long long>(report.steps_consumed),
+              report.wall_seconds, report.avg_throughput,
+              report.training_sessions, report.avg_episode_return,
+              static_cast<unsigned long long>(report.episodes));
+  std::printf("learner: waited %.2f ms/session for rollouts "
+              "(message transmission itself took %.2f ms) -- the overlap.\n",
+              report.mean_wait_ms, report.mean_transmission_ms);
+  return 0;
+}

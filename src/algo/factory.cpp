@@ -1,0 +1,95 @@
+#include "algo/factory.h"
+
+namespace xt {
+
+const char* algo_kind_name(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::kDqn: return "DQN";
+    case AlgoKind::kPpo: return "PPO";
+    case AlgoKind::kImpala: return "IMPALA";
+    case AlgoKind::kA2c: return "A2C";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// A2C = PPO restricted to one epoch and an inactive clip.
+PpoConfig a2c_config(const PpoConfig& base) {
+  PpoConfig config = base;
+  config.epochs = 1;
+  config.clip = 1e9f;
+  config.minibatch = 0;
+  return config;
+}
+
+}  // namespace
+
+namespace {
+
+std::unique_ptr<Algorithm> construct_algorithm(const AlgoSetup& setup,
+                                               std::size_t obs_dim,
+                                               std::int32_t n_actions) {
+  switch (setup.kind) {
+    case AlgoKind::kA2c:
+      return std::make_unique<PpoAlgorithm>(a2c_config(setup.ppo), obs_dim,
+                                            n_actions, setup.seed);
+    case AlgoKind::kDqn:
+      return std::make_unique<DqnAlgorithm>(setup.dqn, obs_dim, n_actions,
+                                            setup.seed);
+    case AlgoKind::kPpo:
+      return std::make_unique<PpoAlgorithm>(setup.ppo, obs_dim, n_actions,
+                                            setup.seed);
+    case AlgoKind::kImpala:
+      return std::make_unique<ImpalaAlgorithm>(setup.impala, obs_dim, n_actions,
+                                               setup.seed);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_algorithm(const AlgoSetup& setup,
+                                          std::size_t obs_dim,
+                                          std::int32_t n_actions) {
+  auto algorithm = construct_algorithm(setup, obs_dim, n_actions);
+  if (algorithm && !setup.initial_weights.empty()) {
+    (void)algorithm->load_policy_weights(setup.initial_weights);
+  }
+  return algorithm;
+}
+
+std::unique_ptr<Agent> make_agent(const AlgoSetup& setup, std::size_t obs_dim,
+                                  std::int32_t n_actions,
+                                  std::uint32_t explorer_index) {
+  // Seeds are derived per explorer so parallel sampling actually diversifies
+  // the encountered state space (Section 2.1), while staying reproducible.
+  const std::uint64_t seed = setup.seed * 7919 + explorer_index * 104729 + 13;
+  switch (setup.kind) {
+    case AlgoKind::kA2c:
+      return std::make_unique<PpoAgent>(a2c_config(setup.ppo), obs_dim,
+                                        n_actions, explorer_index, seed);
+    case AlgoKind::kDqn:
+      return std::make_unique<DqnAgent>(setup.dqn, obs_dim, n_actions,
+                                        explorer_index, seed);
+    case AlgoKind::kPpo:
+      return std::make_unique<PpoAgent>(setup.ppo, obs_dim, n_actions,
+                                        explorer_index, seed);
+    case AlgoKind::kImpala:
+      return std::make_unique<ImpalaAgent>(setup.impala, obs_dim, n_actions,
+                                           explorer_index, seed);
+  }
+  return nullptr;
+}
+
+std::size_t steps_per_message(const AlgoSetup& setup) {
+  switch (setup.kind) {
+    case AlgoKind::kDqn: return setup.dqn.steps_per_message;
+    case AlgoKind::kPpo:
+    case AlgoKind::kA2c: return setup.ppo.fragment_len;
+    case AlgoKind::kImpala: return setup.impala.fragment_len;
+  }
+  return 1;
+}
+
+}  // namespace xt

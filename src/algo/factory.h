@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "algo/dqn.h"
+#include "algo/impala.h"
+#include "algo/interfaces.h"
+#include "algo/ppo.h"
+
+namespace xt {
+
+/// kA2c is synchronous advantage actor-critic, realized exactly as the
+/// single-epoch, unclipped special case of the PPO machinery (with one
+/// epoch the importance ratio is identically 1, so the clipped surrogate
+/// reduces to the vanilla policy gradient).
+enum class AlgoKind { kDqn, kPpo, kImpala, kA2c };
+
+[[nodiscard]] const char* algo_kind_name(AlgoKind kind);
+
+/// Everything needed to instantiate both halves of a DRL algorithm — the
+/// C++ analogue of XingTian's configuration file (paper Section 4.2), which
+/// combines the Environment / Model / Algorithm / Agent classes.
+struct AlgoSetup {
+  AlgoKind kind = AlgoKind::kImpala;
+  std::string env_name = "CartPole";
+  std::uint64_t seed = 1;
+  DqnConfig dqn;
+  PpoConfig ppo;
+  ImpalaConfig impala;
+  /// Optional policy snapshot to start from (PBT population cloning,
+  /// checkpoint restore). Applied to the learner after construction.
+  Bytes initial_weights;
+};
+
+/// Learner-side instantiation.
+[[nodiscard]] std::unique_ptr<Algorithm> make_algorithm(const AlgoSetup& setup,
+                                                        std::size_t obs_dim,
+                                                        std::int32_t n_actions);
+
+/// Explorer-side instantiation (one per explorer).
+[[nodiscard]] std::unique_ptr<Agent> make_agent(const AlgoSetup& setup,
+                                                std::size_t obs_dim,
+                                                std::int32_t n_actions,
+                                                std::uint32_t explorer_index);
+
+/// Steps per explorer->learner message for this algorithm.
+[[nodiscard]] std::size_t steps_per_message(const AlgoSetup& setup);
+
+}  // namespace xt

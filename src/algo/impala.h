@@ -1,0 +1,82 @@
+#pragma once
+
+#include <deque>
+
+#include "algo/interfaces.h"
+#include "nn/losses.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace xt {
+
+/// Hyperparameters for IMPALA (Espeholt et al. 2018). The paper's Section
+/// 5.2 setup runs 32 explorers shipping fragments of 200 (CartPole) or 500
+/// (Atari) steps; the learner trains on one explorer's fragment per
+/// iteration and replies with fresh weights to exactly that explorer.
+struct ImpalaConfig {
+  std::vector<std::size_t> hidden = {64, 64};
+  float lr = 6e-4f;
+  float gamma = 0.99f;
+  float entropy_coef = 0.01f;
+  float value_coef = 0.5f;
+  float rho_clip = 1.0f;
+  float c_clip = 1.0f;
+  float max_grad_norm = 40.0f;
+  std::size_t fragment_len = 200;  ///< steps per explorer message
+  /// Opaque per-step frame payload size (0 = none); see RolloutStep::frame.
+  std::size_t frame_bytes_per_step = 0;
+};
+
+/// Explorer-side IMPALA: stochastic policy, records behavior log-probs.
+/// Off-policy thanks to V-trace: keeps exploring with whatever weights it
+/// has while fragments and broadcasts are in flight.
+class ImpalaAgent final : public Agent {
+ public:
+  ImpalaAgent(ImpalaConfig config, std::size_t obs_dim, std::int32_t n_actions,
+              std::uint32_t explorer_index, std::uint64_t seed);
+
+  std::int32_t infer_action(const std::vector<float>& observation) override;
+  void handle_env_feedback(const std::vector<float>& observation,
+                           std::int32_t action, float reward, bool done,
+                           const std::vector<float>& next_observation) override;
+  [[nodiscard]] bool batch_ready() const override;
+  RolloutBatch take_batch() override;
+  bool apply_weights(const Bytes& weights, std::uint32_t version) override;
+  [[nodiscard]] std::uint32_t weights_version() const override { return version_; }
+
+ private:
+  const ImpalaConfig config_;
+  const std::uint32_t explorer_index_;
+  nn::Mlp policy_net_;
+  Rng rng_;
+  std::uint32_t version_ = 0;
+  RolloutBatch pending_;
+  float last_logp_ = 0.0f;
+};
+
+/// Learner-side IMPALA: one V-trace-corrected update per received fragment.
+class ImpalaAlgorithm final : public Algorithm {
+ public:
+  ImpalaAlgorithm(ImpalaConfig config, std::size_t obs_dim,
+                  std::int32_t n_actions, std::uint64_t seed);
+
+  void prepare_data(RolloutBatch batch) override;
+  [[nodiscard]] bool ready_to_train() const override;
+  TrainResult train() override;
+  [[nodiscard]] Bytes weights() const override;
+  [[nodiscard]] std::uint32_t weights_version() const override { return version_; }
+  bool load_policy_weights(const Bytes& snapshot) override;
+
+  [[nodiscard]] std::size_t queued_fragments() const { return fragments_.size(); }
+
+ private:
+  const ImpalaConfig config_;
+  nn::Mlp policy_net_;
+  nn::Mlp value_net_;
+  nn::Adam policy_opt_;
+  nn::Adam value_opt_;
+  std::deque<RolloutBatch> fragments_;
+  std::uint32_t version_ = 1;
+};
+
+}  // namespace xt

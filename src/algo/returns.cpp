@@ -1,0 +1,73 @@
+#include "algo/returns.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace xt {
+
+std::vector<float> gae_advantages(const std::vector<float>& rewards,
+                                  const std::vector<std::uint8_t>& dones,
+                                  const std::vector<float>& values,
+                                  float bootstrap_value, float gamma,
+                                  float lambda, std::vector<float>* returns_out) {
+  const std::size_t n = rewards.size();
+  assert(dones.size() == n && values.size() == n);
+  std::vector<float> advantages(n, 0.0f);
+  float next_adv = 0.0f;
+  float next_value = bootstrap_value;
+  for (std::size_t i = n; i-- > 0;) {
+    const float not_done = dones[i] ? 0.0f : 1.0f;
+    const float delta = rewards[i] + gamma * next_value * not_done - values[i];
+    next_adv = delta + gamma * lambda * not_done * next_adv;
+    advantages[i] = next_adv;
+    next_value = values[i];
+  }
+  if (returns_out != nullptr) {
+    returns_out->resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      (*returns_out)[i] = advantages[i] + values[i];
+    }
+  }
+  return advantages;
+}
+
+VtraceResult vtrace(const std::vector<float>& log_rhos,
+                    const std::vector<float>& rewards,
+                    const std::vector<std::uint8_t>& dones,
+                    const std::vector<float>& values, float bootstrap_value,
+                    float gamma, float rho_clip, float c_clip) {
+  const std::size_t n = rewards.size();
+  assert(log_rhos.size() == n && dones.size() == n && values.size() == n);
+  VtraceResult out;
+  out.vs.assign(n, 0.0f);
+  out.pg_advantages.assign(n, 0.0f);
+
+  // Backward recursion: vs_t = V_t + delta_t + gamma c_t (vs_{t+1} - V_{t+1}).
+  float vs_next_minus_v_next = 0.0f;  // vs_{t+1} - V(x_{t+1})
+  float v_next = bootstrap_value;
+  for (std::size_t i = n; i-- > 0;) {
+    const float not_done = dones[i] ? 0.0f : 1.0f;
+    const float rho = std::min(rho_clip, std::exp(log_rhos[i]));
+    const float c = std::min(c_clip, std::exp(log_rhos[i]));
+    const float delta = rho * (rewards[i] + gamma * v_next * not_done - values[i]);
+    const float vs_minus_v =
+        delta + gamma * c * not_done * vs_next_minus_v_next;
+    out.vs[i] = values[i] + vs_minus_v;
+    vs_next_minus_v_next = vs_minus_v;
+    v_next = values[i];
+  }
+
+  // Policy-gradient advantages use vs_{t+1} as the backup target.
+  for (std::size_t i = 0; i < n; ++i) {
+    const float not_done = dones[i] ? 0.0f : 1.0f;
+    const float vs_next = i + 1 < n ? out.vs[i + 1] : bootstrap_value;
+    const float rho = std::min(rho_clip, std::exp(log_rhos[i]));
+    out.pg_advantages[i] =
+        rho * (rewards[i] + gamma * vs_next * not_done - values[i]);
+  }
+  return out;
+}
+
+}  // namespace xt

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xt {
+
+/// Generalized Advantage Estimation (Schulman et al.). Inputs are per-step
+/// rewards/dones, values V(s_t) for t in [0, T) plus the bootstrap V(s_T).
+/// Returns advantages A_t; `returns_out` (optional) receives A_t + V_t.
+std::vector<float> gae_advantages(const std::vector<float>& rewards,
+                                  const std::vector<std::uint8_t>& dones,
+                                  const std::vector<float>& values,
+                                  float bootstrap_value, float gamma,
+                                  float lambda,
+                                  std::vector<float>* returns_out = nullptr);
+
+/// V-trace off-policy corrections (Espeholt et al., IMPALA).
+struct VtraceResult {
+  std::vector<float> vs;             ///< value targets vs_t
+  std::vector<float> pg_advantages;  ///< rho_t * (r_t + gamma vs_{t+1} - V_t)
+};
+
+/// `log_rhos` = log pi(a_t|s_t) - log mu(a_t|s_t) (target minus behavior).
+VtraceResult vtrace(const std::vector<float>& log_rhos,
+                    const std::vector<float>& rewards,
+                    const std::vector<std::uint8_t>& dones,
+                    const std::vector<float>& values, float bootstrap_value,
+                    float gamma, float rho_clip = 1.0f, float c_clip = 1.0f);
+
+}  // namespace xt

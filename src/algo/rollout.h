@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace xt {
+
+/// One rollout step: the (observation, action, reward, done) tuple the paper
+/// defines in the introduction, plus the behavior policy's log-probability
+/// needed by the off-policy corrections (PPO ratio, IMPALA V-trace).
+///
+/// `frame` is an optional opaque blob shipped alongside the feature
+/// observation — the stand-in for raw emulator frames, which dominate the
+/// paper's rollout message sizes (an Atari rollout step is ~28 KB of pixels
+/// vs. ~0.5 KB of features). Setting frame_bytes_per_step in the algorithm
+/// configs reproduces the paper's communication volume without requiring a
+/// GPU-scale network to consume pixels.
+struct RolloutStep {
+  std::vector<float> observation;
+  std::int32_t action = 0;
+  float reward = 0.0f;
+  bool done = false;
+  float behavior_logp = 0.0f;
+  Bytes frame;
+
+  bool operator==(const RolloutStep&) const = default;
+};
+
+/// Fill a frame blob with cheap, position-dependent bytes.
+void fill_frame(Bytes& frame, std::size_t size, std::uint64_t salt);
+
+/// The unit of explorer -> learner communication: a fragment of consecutive
+/// rollout steps plus the observation after the last step (for value
+/// bootstrapping) and the version of the DNN weights that generated it.
+struct RolloutBatch {
+  std::vector<RolloutStep> steps;
+  std::vector<float> final_observation;  ///< s_{T}; empty iff last step done
+  std::uint32_t weights_version = 0;
+  std::uint32_t explorer_index = 0;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<RolloutBatch> deserialize(const Bytes& data);
+
+  bool operator==(const RolloutBatch&) const = default;
+};
+
+}  // namespace xt

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "baselines/rpc.h"
+#include "framework/dummy_transmission.h"
+
+namespace xt::baselines {
+
+/// The Launchpad + Reverb model of paper Section 2.2: a central data-buffer
+/// server that *all* data funnels through. Every insert and every retrieval
+/// is a chunked, flow-controlled RPC, and the server processes requests
+/// serially (the global table lock is held for the duration of the
+/// transfer) — which is why adding explorers does not raise throughput and
+/// the buffer is the bottleneck (paper Section 5.1).
+class BufferServer {
+ public:
+  explicit BufferServer(ChunkedTransferConfig transfer);
+
+  /// Insert an item. Blocks the caller for the chunked transfer, performed
+  /// while holding the server's table lock.
+  void insert(const Bytes& item);
+
+  /// Retrieve (and remove) the oldest item; blocks for the outbound chunked
+  /// transfer under the same lock. nullopt when the table is empty.
+  [[nodiscard]] std::optional<Bytes> take();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  const ChunkedTransferConfig transfer_;
+  mutable std::mutex mu_;
+  std::deque<Bytes> items_;
+};
+
+/// The dummy DRL algorithm through the buffer server (the Launchpad+Reverb
+/// configuration of paper Fig. 4/5).
+[[nodiscard]] DummyResult run_dummy_transmission_bufferhub(
+    const DummyConfig& config, const ChunkedTransferConfig& transfer);
+
+}  // namespace xt::baselines

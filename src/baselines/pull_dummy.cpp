@@ -1,0 +1,125 @@
+#include "baselines/pull_dummy.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/blocking_queue.h"
+#include "common/clock.h"
+#include "common/thread_util.h"
+
+namespace xt::baselines {
+namespace {
+
+/// A dummy pull worker: produces a payload copy when asked, parks it until
+/// the driver pulls.
+class DummyPullWorker {
+ public:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    Bytes data;
+    bool ready = false;
+  };
+  using SlotPtr = std::shared_ptr<Slot>;
+
+  DummyPullWorker(std::uint16_t machine, const Bytes& payload_template,
+                  const RpcTransport& transport)
+      : machine_(machine), template_(payload_template), transport_(transport) {
+    service_ = std::thread([this] {
+      set_current_thread_name("dummy-pullw");
+      service_loop();
+    });
+  }
+  ~DummyPullWorker() { stop(); }
+
+  void stop() {
+    requests_.close();
+    if (service_.joinable()) service_.join();
+  }
+
+  [[nodiscard]] SlotPtr produce_async() {
+    auto slot = std::make_shared<Slot>();
+    if (!requests_.push(slot)) {
+      std::scoped_lock lock(slot->mu);
+      slot->ready = true;
+    }
+    return slot;
+  }
+
+  [[nodiscard]] Bytes get(const SlotPtr& slot, RpcTransport& transport) {
+    Bytes data;
+    {
+      std::unique_lock lock(slot->mu);
+      slot->cv.wait(lock, [&] { return slot->ready; });
+      data = std::move(slot->data);
+    }
+    return transport.pull(machine_, data);
+  }
+
+ private:
+  void service_loop() {
+    while (auto slot = requests_.pop()) {
+      Bytes data = template_;  // message materialization (the compute)
+      transport_.pace_ipc(data.size());  // worker-side object-store copy
+      std::scoped_lock lock((*slot)->mu);
+      (*slot)->data = std::move(data);
+      (*slot)->ready = true;
+      (*slot)->cv.notify_one();
+    }
+  }
+
+  const std::uint16_t machine_;
+  const Bytes& template_;
+  const RpcTransport& transport_;
+  BlockingQueue<SlotPtr> requests_;
+  std::thread service_;
+};
+
+}  // namespace
+
+DummyResult run_dummy_transmission_pullhub(const DummyConfig& config,
+                                           const RpcConfig& rpc) {
+  const auto n_machines =
+      static_cast<std::uint16_t>(config.explorers_per_machine.size());
+  RpcTransport transport(n_machines, rpc);
+
+  const Bytes payload_template = make_dummy_payload(
+      config.message_bytes, config.compressible_payload, /*seed=*/42);
+
+  std::vector<std::unique_ptr<DummyPullWorker>> workers;
+  for (std::uint16_t m = 0; m < n_machines; ++m) {
+    for (int i = 0; i < config.explorers_per_machine[m]; ++i) {
+      workers.push_back(
+          std::make_unique<DummyPullWorker>(m, payload_template, transport));
+    }
+  }
+
+  DummyResult result;
+  const Stopwatch clock;
+  for (int round = 0; round < config.messages_per_explorer; ++round) {
+    // Central logic: schedule every worker's task for this round...
+    std::vector<DummyPullWorker::SlotPtr> slots;
+    slots.reserve(workers.size());
+    for (auto& worker : workers) slots.push_back(worker->produce_async());
+    // ...then ask for the data, one synchronous pull after another.
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      const Bytes data = workers[i]->get(slots[i], transport);
+      ++result.messages_received;
+      result.bytes_received += data.size();
+    }
+  }
+  result.end_to_end_seconds = clock.elapsed_s();
+
+  for (auto& worker : workers) worker->stop();
+  result.cross_machine_bytes = transport.cross_machine_bytes();
+  transport.stop();
+
+  result.throughput_mbps = result.end_to_end_seconds > 0
+                               ? static_cast<double>(result.bytes_received) /
+                                     1e6 / result.end_to_end_seconds
+                               : 0.0;
+  return result;
+}
+
+}  // namespace xt::baselines

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "baselines/rpc.h"
+#include "framework/dummy_transmission.h"
+
+namespace xt::baselines {
+
+/// The dummy DRL algorithm of paper Section 5.1 on the pull-based baseline:
+/// each round the driver submits one message-production task per worker,
+/// then pulls every result synchronously — the RLLib-style low-level data
+/// path where transmission starts only when the recipient asks.
+[[nodiscard]] DummyResult run_dummy_transmission_pullhub(const DummyConfig& config,
+                                                         const RpcConfig& rpc);
+
+}  // namespace xt::baselines

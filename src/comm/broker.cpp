@@ -1,0 +1,157 @@
+#include "comm/broker.h"
+
+#include <set>
+
+#include "common/log.h"
+#include "common/thread_util.h"
+
+namespace xt {
+
+Broker::Broker(std::uint16_t machine) : Broker(machine, Options{}) {}
+
+Broker::Broker(std::uint16_t machine, Options options)
+    : machine_(machine), options_(std::move(options)) {
+  router_ = std::thread([this] {
+    set_current_thread_name("router-m" + std::to_string(machine_));
+    router_loop();
+  });
+}
+
+Broker::~Broker() { stop(); }
+
+void Broker::stop() {
+  header_queue_.close();
+  if (router_.joinable()) router_.join();
+}
+
+std::shared_ptr<IdQueue> Broker::register_endpoint(const NodeId& id) {
+  auto queue = std::make_shared<IdQueue>();
+  std::scoped_lock lock(mu_);
+  endpoints_[id] = queue;
+  return queue;
+}
+
+void Broker::unregister_endpoint(const NodeId& id) {
+  std::shared_ptr<IdQueue> queue;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = endpoints_.find(id);
+    if (it == endpoints_.end()) return;
+    queue = std::move(it->second);
+    endpoints_.erase(it);
+  }
+  queue->close();
+}
+
+bool Broker::submit(MessageHeader header) {
+  return header_queue_.push(std::move(header));
+}
+
+std::uint32_t Broker::expected_fetches(const MessageHeader& header) const {
+  std::uint32_t local = 0;
+  std::set<std::uint16_t> remote_machines;
+  for (const NodeId& dst : header.dsts) {
+    if (dst.machine == machine_) {
+      ++local;
+    } else {
+      remote_machines.insert(dst.machine);
+    }
+  }
+  const auto total = local + static_cast<std::uint32_t>(remote_machines.size());
+  return total == 0 ? 1 : total;
+}
+
+void Broker::set_remote_sink(std::uint16_t machine, RemoteSink sink) {
+  std::scoped_lock lock(mu_);
+  remote_sinks_[machine] = std::move(sink);
+}
+
+void Broker::router_loop() {
+  while (auto header = header_queue_.pop()) {
+    route(std::move(*header));
+  }
+}
+
+void Broker::route(MessageHeader header) {
+  // Partition destinations: local endpoints get the header directly through
+  // their ID queue; every distinct remote machine gets one forwarded copy of
+  // (header, body) through its sink.
+  std::set<std::uint16_t> remote_machines;
+  for (const NodeId& dst : header.dsts) {
+    if (dst.machine != machine_) remote_machines.insert(dst.machine);
+  }
+
+  for (const NodeId& dst : header.dsts) {
+    if (dst.machine != machine_) continue;
+    std::shared_ptr<IdQueue> queue;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = endpoints_.find(dst);
+      if (it != endpoints_.end()) queue = it->second;
+    }
+    if (!queue || !queue->push(header)) {
+      store_.release(header.object_id);
+      std::scoped_lock lock(mu_);
+      ++dropped_;
+    }
+  }
+
+  for (std::uint16_t machine : remote_machines) {
+    RemoteSink sink;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = remote_sinks_.find(machine);
+      if (it != remote_sinks_.end()) sink = it->second;
+    }
+    Payload body = store_.fetch(header.object_id);
+    if (!sink || !body) {
+      if (body == nullptr) {
+        XT_LOG_WARN << "router: missing body for msg " << header.msg_id;
+      } else {
+        store_.release(header.object_id);
+        XT_LOG_WARN << "router: no sink for machine " << machine;
+      }
+      std::scoped_lock lock(mu_);
+      ++dropped_;
+      continue;
+    }
+    sink(header, std::move(body));
+  }
+}
+
+void Broker::deliver_remote(MessageHeader header, Payload body) {
+  // Count destinations that live here; the forwarding router already split
+  // the message per machine, so remote dsts in the header are not ours.
+  std::uint32_t local = 0;
+  for (const NodeId& dst : header.dsts) {
+    if (dst.machine == machine_) ++local;
+  }
+  if (local == 0) {
+    std::scoped_lock lock(mu_);
+    ++dropped_;
+    return;
+  }
+  header.object_id = store_.put(std::move(body), local);
+
+  for (const NodeId& dst : header.dsts) {
+    if (dst.machine != machine_) continue;
+    std::shared_ptr<IdQueue> queue;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = endpoints_.find(dst);
+      if (it != endpoints_.end()) queue = it->second;
+    }
+    if (!queue || !queue->push(header)) {
+      store_.release(header.object_id);
+      std::scoped_lock lock(mu_);
+      ++dropped_;
+    }
+  }
+}
+
+std::uint64_t Broker::dropped_messages() const {
+  std::scoped_lock lock(mu_);
+  return dropped_;
+}
+
+}  // namespace xt

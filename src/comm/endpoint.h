@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "common/blocking_queue.h"
+#include "common/stats.h"
+#include "comm/broker.h"
+#include "comm/message.h"
+
+namespace xt {
+
+/// The communication half of a logical explorer/learner/controller process
+/// (paper Fig. 2(a)): a send buffer drained by a dedicated sender thread and
+/// a receive buffer filled by a dedicated receiver thread.
+///
+/// The workhorse thread (rollout worker or trainer) only touches the local
+/// buffers — `send` and `receive` — while serialization, compression,
+/// object-store insertion and routing all happen on the sender/receiver/
+/// router threads. That is the communication-computation overlap the paper
+/// is built around: the instant a message lands in the send buffer it starts
+/// flowing toward its destinations, regardless of what the workhorse (or the
+/// recipient) is doing.
+class Endpoint {
+ public:
+  struct Counters {
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};       ///< pre-compression sizes
+    std::atomic<std::uint64_t> messages_received{0};
+    std::atomic<std::uint64_t> bytes_received{0};   ///< post-decompression sizes
+  };
+
+  /// `send_capacity` bounds the send buffer (0 = unbounded): when full,
+  /// send() blocks the workhorse until the sender thread drains a slot.
+  /// This is the natural backpressure of a fixed-size shared-memory object
+  /// store (Arrow plasma in the Python system) and keeps memory bounded
+  /// when explorers outproduce the channel. `recv_capacity` likewise bounds
+  /// the receive buffer (the receiver thread stalls when the consumer lags).
+  Endpoint(NodeId id, Broker& broker, std::size_t send_capacity = 0,
+           std::size_t recv_capacity = 0);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] const NodeId& id() const { return id_; }
+
+  /// Enqueue a message for asynchronous transmission. Returns immediately;
+  /// the sender thread picks it up. False once the endpoint is stopped.
+  bool send(Outbound message);
+
+  /// Blocking receive; nullopt when the endpoint has been stopped and the
+  /// receive buffer is drained.
+  std::optional<Message> receive();
+
+  /// Receive with timeout.
+  std::optional<Message> receive_for(std::chrono::milliseconds timeout);
+
+  /// Non-blocking receive.
+  std::optional<Message> try_receive();
+
+  /// Messages already transmitted and waiting in the receive buffer.
+  [[nodiscard]] std::size_t pending_received() const { return recv_buffer_.size(); }
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Optional: record per-message transmission latency (created -> receive
+  /// buffer), in milliseconds. Used by the Fig. 8-10 latency decompositions.
+  void set_latency_recorder(LatencyRecorder* recorder) { latency_recorder_ = recorder; }
+
+  /// Stop both threads, unregister from the broker (idempotent).
+  void stop();
+
+ private:
+  void sender_loop();
+  void receiver_loop();
+
+  const NodeId id_;
+  Broker& broker_;
+  std::shared_ptr<IdQueue> id_queue_;
+
+  BlockingQueue<Outbound> send_buffer_;
+  BlockingQueue<Message> recv_buffer_;
+
+  Counters counters_;
+  LatencyRecorder* latency_recorder_ = nullptr;
+
+  std::thread sender_;
+  std::thread receiver_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace xt

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "comm/node_id.h"
+
+namespace xt {
+
+/// Message categories flowing through the channel. The router never looks
+/// past the header (the broker is algorithm-agnostic, paper Section 3.2.1);
+/// the type exists so endpoints can demultiplex received messages.
+enum class MsgType : std::uint8_t {
+  kRollout = 0,   ///< explorer -> learner: batches of rollout steps
+  kWeights = 1,   ///< learner -> explorers: updated DNN parameters
+  kStats = 2,     ///< any -> center controller: metrics
+  kCommand = 3,   ///< controller -> any: lifecycle control
+  kDummy = 4,     ///< the dummy DRL algorithm of Section 5.1
+};
+
+/// Lightweight metadata that travels through header/ID queues. Bodies move
+/// separately through the zero-copy object store; only this struct is
+/// copied per destination.
+struct MessageHeader {
+  std::uint64_t msg_id = 0;
+  NodeId src;
+  std::vector<NodeId> dsts;     ///< weights broadcast => several destinations
+  MsgType type = MsgType::kDummy;
+  std::uint64_t object_id = 0;  ///< body handle in the object store (0 = none yet)
+  std::uint64_t body_size = 0;  ///< stored (possibly compressed) size in bytes
+  bool compressed = false;
+  std::uint64_t uncompressed_size = 0;
+  std::int64_t created_ns = 0;  ///< when the workhorse produced the message
+  std::uint32_t tag = 0;        ///< free-form (e.g. training iteration, PBT rank)
+};
+
+/// A full message as seen by workhorse threads: header + immutable body.
+struct Message {
+  MessageHeader header;
+  Payload body;
+};
+
+/// What workhorse threads enqueue. The body may be supplied either as
+/// ready bytes or as a deferred producer; a deferred producer runs on the
+/// *sender thread*, which is how XingTian keeps serialization off the
+/// workhorse's critical path (communication-computation overlap).
+struct Outbound {
+  MessageHeader header;
+  Payload body;                          ///< used when producer is empty
+  std::function<Bytes()> producer;       ///< serialized lazily by the sender
+};
+
+/// Allocates a process-wide unique message id.
+[[nodiscard]] std::uint64_t next_message_id();
+
+/// Convenience constructors.
+[[nodiscard]] Outbound make_outbound(NodeId src, std::vector<NodeId> dsts,
+                                     MsgType type, Payload body,
+                                     std::uint32_t tag = 0);
+[[nodiscard]] Outbound make_deferred_outbound(NodeId src, std::vector<NodeId> dsts,
+                                              MsgType type,
+                                              std::function<Bytes()> producer,
+                                              std::uint32_t tag = 0);
+
+}  // namespace xt

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace xt {
+
+/// The kinds of logical processes XingTian runs (paper Section 3.2).
+enum class NodeKind : std::uint8_t {
+  kExplorer = 0,
+  kLearner = 1,
+  kController = 2,
+  kBroker = 3,
+};
+
+[[nodiscard]] constexpr const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kExplorer: return "explorer";
+    case NodeKind::kLearner: return "learner";
+    case NodeKind::kController: return "controller";
+    case NodeKind::kBroker: return "broker";
+  }
+  return "unknown";
+}
+
+/// Identity of a logical process: which machine it lives on, what kind it
+/// is, and its index among peers of the same kind. The broker's router uses
+/// the machine field to decide local dispatch vs. cross-machine forwarding.
+struct NodeId {
+  std::uint16_t machine = 0;
+  NodeKind kind = NodeKind::kExplorer;
+  std::uint16_t index = 0;
+
+  auto operator<=>(const NodeId&) const = default;
+
+  [[nodiscard]] std::string name() const {
+    return std::string(node_kind_name(kind)) + "-m" + std::to_string(machine) +
+           "-" + std::to_string(index);
+  }
+
+  [[nodiscard]] std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(machine) << 32) |
+           (static_cast<std::uint64_t>(kind) << 16) | index;
+  }
+};
+
+[[nodiscard]] inline NodeId explorer_id(std::uint16_t machine, std::uint16_t index) {
+  return {machine, NodeKind::kExplorer, index};
+}
+[[nodiscard]] inline NodeId learner_id(std::uint16_t machine, std::uint16_t index = 0) {
+  return {machine, NodeKind::kLearner, index};
+}
+[[nodiscard]] inline NodeId controller_id(std::uint16_t machine) {
+  return {machine, NodeKind::kController, 0};
+}
+
+}  // namespace xt
+
+template <>
+struct std::hash<xt::NodeId> {
+  std::size_t operator()(const xt::NodeId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.packed());
+  }
+};

@@ -1,0 +1,48 @@
+#include "comm/object_store.h"
+
+#include <cassert>
+
+namespace xt {
+
+std::uint64_t ObjectStore::put(Payload body, std::uint32_t expected_fetches) {
+  assert(expected_fetches >= 1);
+  std::scoped_lock lock(mu_);
+  const std::uint64_t id = next_id_++;
+  live_bytes_ += body->size();
+  objects_.emplace(id, Entry{std::move(body), expected_fetches});
+  return id;
+}
+
+Payload ObjectStore::fetch(std::uint64_t object_id) {
+  std::scoped_lock lock(mu_);
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) return nullptr;
+  Payload body = it->second.body;
+  if (--it->second.remaining == 0) {
+    live_bytes_ -= body->size();
+    objects_.erase(it);
+  }
+  return body;
+}
+
+void ObjectStore::release(std::uint64_t object_id) {
+  std::scoped_lock lock(mu_);
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) return;
+  if (--it->second.remaining == 0) {
+    live_bytes_ -= it->second.body->size();
+    objects_.erase(it);
+  }
+}
+
+std::size_t ObjectStore::live_objects() const {
+  std::scoped_lock lock(mu_);
+  return objects_.size();
+}
+
+std::size_t ObjectStore::live_bytes() const {
+  std::scoped_lock lock(mu_);
+  return live_bytes_;
+}
+
+}  // namespace xt

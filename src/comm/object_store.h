@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/bytes.h"
+
+namespace xt {
+
+/// The shared-memory communicator's object store (paper Section 3.2.1).
+///
+/// Bodies are inserted once and fetched by each destination; fetching hands
+/// back a shared_ptr to the *same* immutable bytes, which is the in-process
+/// analogue of the zero-copy shared-memory object store the Python system
+/// builds on Apache Arrow. Reference counting by destination count means a
+/// broadcast keeps exactly one copy alive, and the entry disappears when the
+/// last receiver has fetched it — no unbounded memory growth.
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Insert a body; `expected_fetches` is the number of destinations that
+  /// will fetch it (>=1). Returns the object id to put in the header.
+  [[nodiscard]] std::uint64_t put(Payload body, std::uint32_t expected_fetches);
+
+  /// Fetch the body for one destination. Returns nullptr if the id is
+  /// unknown (already fully consumed or never inserted).
+  [[nodiscard]] Payload fetch(std::uint64_t object_id);
+
+  /// Drop one destination's claim without fetching (e.g. the destination
+  /// endpoint has shut down). Keeps refcounts balanced.
+  void release(std::uint64_t object_id);
+
+  /// Diagnostics.
+  [[nodiscard]] std::size_t live_objects() const;
+  [[nodiscard]] std::size_t live_bytes() const;
+
+ private:
+  struct Entry {
+    Payload body;
+    std::uint32_t remaining;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> objects_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_bytes_ = 0;
+};
+
+}  // namespace xt

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xt {
+
+/// Raw byte storage for message bodies and serialized blobs.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Immutable, shareable message body. Passing a Payload between logical
+/// processes is zero-copy: only the control block refcount moves, matching
+/// the paper's shared-memory object store (Section 3.2.1).
+using Payload = std::shared_ptr<const Bytes>;
+
+/// Wrap freshly produced bytes into an immutable shareable payload.
+[[nodiscard]] inline Payload make_payload(Bytes bytes) {
+  return std::make_shared<const Bytes>(std::move(bytes));
+}
+
+/// An empty, non-null payload (useful for control messages without bodies).
+[[nodiscard]] inline Payload empty_payload() {
+  static const Payload kEmpty = std::make_shared<const Bytes>();
+  return kEmpty;
+}
+
+}  // namespace xt

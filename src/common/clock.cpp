@@ -1,0 +1,26 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace xt {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void precise_sleep_ns(std::int64_t ns) {
+  if (ns <= 0) return;
+  const std::int64_t deadline = now_ns() + ns;
+  // Coarse sleep leaves a ~200us tail to absorb scheduler jitter.
+  constexpr std::int64_t kSpinTailNs = 200'000;
+  if (ns > kSpinTailNs) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns - kSpinTailNs));
+  }
+  while (now_ns() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace xt

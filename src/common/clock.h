@@ -1,0 +1,34 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace xt {
+
+/// Monotonic time since an arbitrary epoch, in nanoseconds.
+[[nodiscard]] std::int64_t now_ns();
+
+/// Convenience conversions.
+[[nodiscard]] inline double ns_to_ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+[[nodiscard]] inline double ns_to_s(std::int64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+/// Simple RAII-free stopwatch for latency measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+
+  void reset() { start_ = now_ns(); }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const { return now_ns() - start_; }
+  [[nodiscard]] double elapsed_ms() const { return ns_to_ms(elapsed_ns()); }
+  [[nodiscard]] double elapsed_s() const { return ns_to_s(elapsed_ns()); }
+
+ private:
+  std::int64_t start_;
+};
+
+/// Sleep precisely for `ns` nanoseconds (sleep_for + spin tail for short
+/// waits). Used by the network simulator to pace bandwidth in real time.
+void precise_sleep_ns(std::int64_t ns);
+
+}  // namespace xt

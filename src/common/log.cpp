@@ -1,0 +1,40 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/thread_util.h"
+
+namespace xt {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mu;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  const double t = ns_to_s(now_ns());
+  std::scoped_lock lock(g_mu);
+  std::fprintf(stderr, "[%12.6f] [%s] [%s] %s\n", t, level_name(level),
+               current_thread_name().c_str(), message.c_str());
+}
+
+}  // namespace xt

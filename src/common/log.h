@@ -1,0 +1,40 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace xt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum level (default kInfo).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Thread-safe line-buffered logging to stderr with a monotonic timestamp
+/// and the current thread's name.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace xt
+
+#define XT_LOG_DEBUG ::xt::detail::LogStream(::xt::LogLevel::kDebug)
+#define XT_LOG_INFO ::xt::detail::LogStream(::xt::LogLevel::kInfo)
+#define XT_LOG_WARN ::xt::detail::LogStream(::xt::LogLevel::kWarn)
+#define XT_LOG_ERROR ::xt::detail::LogStream(::xt::LogLevel::kError)

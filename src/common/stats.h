@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xt {
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample reservoir that can report exact quantiles and a CDF table.
+/// Used for the wait-time CDF of paper Fig. 8(c).
+class LatencyRecorder {
+ public:
+  void add(double value);
+  void add_batch(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] double mean() const;
+  /// q in [0,1]; returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  /// Fraction of samples <= threshold.
+  [[nodiscard]] double fraction_below(double threshold) const;
+  /// (value, cumulative fraction) pairs at `points` evenly spaced quantiles.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(std::size_t points) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted_locked() const;
+};
+
+/// Throughput-over-time series: add(t_seconds, amount) buckets amounts into
+/// fixed windows; series() reports per-window rates (paper Figs. 8-10(a)).
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(double window_seconds = 1.0);
+
+  void add(double t_seconds, double amount);
+
+  struct Point {
+    double t;     ///< window start time (seconds)
+    double rate;  ///< amount per second within the window
+  };
+  [[nodiscard]] std::vector<Point> series() const;
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double average_rate() const;
+
+ private:
+  mutable std::mutex mu_;
+  double window_;
+  std::vector<double> buckets_;
+  double total_ = 0.0;
+  double last_t_ = 0.0;
+};
+
+/// Render helpers for benchmark output tables.
+std::string format_bytes(double bytes);
+std::string format_si(double value);
+
+}  // namespace xt

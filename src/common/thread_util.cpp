@@ -1,0 +1,23 @@
+#include "common/thread_util.h"
+
+#include <pthread.h>
+
+namespace xt {
+namespace {
+thread_local std::string t_name;
+}  // namespace
+
+void set_current_thread_name(const std::string& name) {
+  t_name = name;
+  std::string truncated = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), truncated.c_str());
+}
+
+std::string current_thread_name() {
+  if (!t_name.empty()) return t_name;
+  char buf[32] = {0};
+  pthread_getname_np(pthread_self(), buf, sizeof(buf));
+  return buf[0] ? std::string(buf) : std::string("thread");
+}
+
+}  // namespace xt

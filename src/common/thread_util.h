@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+namespace xt {
+
+/// Name the calling thread (for logs and debuggers). Truncated to 15 chars
+/// for pthread compatibility.
+void set_current_thread_name(const std::string& name);
+
+/// Returns the name set via set_current_thread_name, or "main"-style default.
+[[nodiscard]] std::string current_thread_name();
+
+}  // namespace xt

@@ -1,0 +1,35 @@
+#include "compress/codec.h"
+
+#include "compress/lz4.h"
+
+namespace xt {
+
+EncodedBody maybe_compress(const Payload& body, const CompressionConfig& config) {
+  EncodedBody out;
+  out.uncompressed_size = body->size();
+  if (!config.enabled || body->size() < config.threshold_bytes) {
+    out.data = body;
+    out.compressed = false;
+    return out;
+  }
+  Bytes packed = lz4::compress(*body);
+  if (packed.size() >= body->size()) {
+    // Incompressible: ship the original, zero-copy.
+    out.data = body;
+    out.compressed = false;
+    return out;
+  }
+  out.data = make_payload(std::move(packed));
+  out.compressed = true;
+  return out;
+}
+
+std::optional<Payload> maybe_decompress(const Payload& data, bool compressed,
+                                        std::size_t uncompressed_size) {
+  if (!compressed) return data;
+  auto restored = lz4::decompress(*data, uncompressed_size);
+  if (!restored) return std::nullopt;
+  return make_payload(std::move(*restored));
+}
+
+}  // namespace xt

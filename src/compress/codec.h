@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace xt {
+
+/// Body compression policy, mirroring the paper Section 4.1: compression is
+/// a configurable option; bodies larger than the threshold (1 MB by default)
+/// are LZ4-compressed when inserted into the object store and decompressed
+/// when fetched into receive buffers.
+struct CompressionConfig {
+  bool enabled = true;
+  std::size_t threshold_bytes = 1u << 20;  // 1 MB, the paper's default
+};
+
+/// Result of maybe_compress: the (possibly compressed) payload plus the
+/// metadata the message header must carry to undo it.
+struct EncodedBody {
+  Payload data;
+  bool compressed = false;
+  std::size_t uncompressed_size = 0;
+};
+
+/// Compress `body` if the policy says so. Falls back to the original bytes
+/// when compression would not shrink them.
+[[nodiscard]] EncodedBody maybe_compress(const Payload& body,
+                                         const CompressionConfig& config);
+
+/// Undo maybe_compress. Returns nullopt on corrupt data.
+[[nodiscard]] std::optional<Payload> maybe_decompress(const Payload& data,
+                                                      bool compressed,
+                                                      std::size_t uncompressed_size);
+
+}  // namespace xt

@@ -1,0 +1,178 @@
+#include "compress/lz4.h"
+
+#include <cstring>
+
+namespace xt::lz4 {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+// The LZ4 format forbids matches within the last 12 bytes of the block and
+// requires the final 5 bytes to be literals.
+constexpr std::size_t kLastLiterals = 5;
+constexpr std::size_t kMfLimit = 12;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashLog = 16;
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint32_t hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+void write_length(Bytes& out, std::size_t len) {
+  while (len >= 255) {
+    out.push_back(255);
+    len -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(len));
+}
+
+}  // namespace
+
+std::size_t compress_bound(std::size_t n) {
+  return n + n / 255 + 16;
+}
+
+Bytes compress(const Bytes& input) {
+  Bytes out;
+  out.reserve(compress_bound(input.size()));
+  const std::size_t n = input.size();
+  const std::uint8_t* src = input.data();
+
+  if (n < kMfLimit + 1) {
+    // Too small for any match: one literals-only sequence.
+    out.push_back(static_cast<std::uint8_t>(n < 15 ? n << 4 : 0xF0));
+    if (n >= 15) write_length(out, n - 15);
+    out.insert(out.end(), src, src + n);
+    return out;
+  }
+
+  std::vector<std::uint32_t> table(1u << kHashLog, 0);
+  // Positions in `table` are stored +1 so that 0 means "empty".
+  std::size_t anchor = 0;  // start of pending literals
+  std::size_t pos = 0;
+  const std::size_t match_limit = n - kMfLimit;
+
+  while (pos < match_limit) {
+    const std::uint32_t h = hash4(read_u32(src + pos));
+    const std::uint32_t candidate_plus1 = table[h];
+    table[h] = static_cast<std::uint32_t>(pos + 1);
+
+    bool found = false;
+    std::size_t match_pos = 0;
+    if (candidate_plus1 != 0) {
+      match_pos = candidate_plus1 - 1;
+      if (pos - match_pos <= kMaxOffset &&
+          read_u32(src + match_pos) == read_u32(src + pos)) {
+        found = true;
+      }
+    }
+    if (!found) {
+      ++pos;
+      continue;
+    }
+
+    // Extend the match forward (bounded so the last 5 bytes stay literals).
+    std::size_t match_len = kMinMatch;
+    const std::size_t max_len = n - kLastLiterals - pos;
+    while (match_len < max_len &&
+           src[match_pos + match_len] == src[pos + match_len]) {
+      ++match_len;
+    }
+
+    // Emit token + literals + offset + extended match length.
+    const std::size_t lit_len = pos - anchor;
+    const std::size_t ml_code = match_len - kMinMatch;
+    std::uint8_t token = 0;
+    token |= static_cast<std::uint8_t>((lit_len < 15 ? lit_len : 15) << 4);
+    token |= static_cast<std::uint8_t>(ml_code < 15 ? ml_code : 15);
+    out.push_back(token);
+    if (lit_len >= 15) write_length(out, lit_len - 15);
+    out.insert(out.end(), src + anchor, src + anchor + lit_len);
+    const auto offset = static_cast<std::uint16_t>(pos - match_pos);
+    out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(offset >> 8));
+    if (ml_code >= 15) write_length(out, ml_code - 15);
+
+    pos += match_len;
+    anchor = pos;
+    if (pos < match_limit) {
+      // Seed the table with an intermediate position for better ratios.
+      table[hash4(read_u32(src + pos - 2))] = static_cast<std::uint32_t>(pos - 1);
+    }
+  }
+
+  // Final literals-only sequence.
+  const std::size_t lit_len = n - anchor;
+  out.push_back(static_cast<std::uint8_t>(lit_len < 15 ? lit_len << 4 : 0xF0));
+  if (lit_len >= 15) write_length(out, lit_len - 15);
+  out.insert(out.end(), src + anchor, src + n);
+  return out;
+}
+
+std::optional<Bytes> decompress(const Bytes& input, std::size_t expected_size) {
+  Bytes out;
+  out.reserve(expected_size);
+  const std::uint8_t* src = input.data();
+  const std::size_t n = input.size();
+  std::size_t ip = 0;
+
+  if (n == 0) {
+    if (expected_size == 0) return out;
+    return std::nullopt;
+  }
+
+  while (ip < n) {
+    const std::uint8_t token = src[ip++];
+
+    // Literal run.
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15) {
+      std::uint8_t b;
+      do {
+        if (ip >= n) return std::nullopt;
+        b = src[ip++];
+        lit_len += b;
+      } while (b == 255);
+    }
+    if (ip + lit_len > n) return std::nullopt;
+    if (out.size() + lit_len > expected_size) return std::nullopt;
+    out.insert(out.end(), src + ip, src + ip + lit_len);
+    ip += lit_len;
+
+    if (ip == n) break;  // last sequence has no match part
+
+    // Match.
+    if (ip + 2 > n) return std::nullopt;
+    const std::size_t offset = src[ip] | (static_cast<std::size_t>(src[ip + 1]) << 8);
+    ip += 2;
+    if (offset == 0 || offset > out.size()) return std::nullopt;
+
+    std::size_t match_len = (token & 0x0F);
+    if (match_len == 15) {
+      std::uint8_t b;
+      do {
+        if (ip >= n) return std::nullopt;
+        b = src[ip++];
+        match_len += b;
+      } while (b == 255);
+    }
+    match_len += kMinMatch;
+    if (out.size() + match_len > expected_size) return std::nullopt;
+
+    // Byte-by-byte copy supports overlapping matches (RLE-style runs).
+    std::size_t from = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+
+  if (out.size() != expected_size) return std::nullopt;
+  return out;
+}
+
+}  // namespace xt::lz4

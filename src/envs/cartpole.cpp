@@ -1,0 +1,67 @@
+#include "envs/cartpole.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace xt {
+namespace {
+constexpr double kGravity = 9.8;
+constexpr double kMassCart = 1.0;
+constexpr double kMassPole = 0.1;
+constexpr double kTotalMass = kMassCart + kMassPole;
+constexpr double kPoleHalfLength = 0.5;
+constexpr double kPoleMassLength = kMassPole * kPoleHalfLength;
+constexpr double kForceMag = 10.0;
+constexpr double kTau = 0.02;
+constexpr double kThetaThreshold = 12.0 * 2.0 * M_PI / 360.0;
+constexpr double kXThreshold = 2.4;
+constexpr int kMaxSteps = 500;
+}  // namespace
+
+std::vector<float> CartPole::reset(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  x_ = rng_.uniform(-0.05, 0.05);
+  x_dot_ = rng_.uniform(-0.05, 0.05);
+  theta_ = rng_.uniform(-0.05, 0.05);
+  theta_dot_ = rng_.uniform(-0.05, 0.05);
+  steps_ = 0;
+  done_ = false;
+  return observation();
+}
+
+StepResult CartPole::step(std::int32_t action) {
+  assert(!done_ && "step() after done; call reset()");
+  assert(action == 0 || action == 1);
+  const double force = action == 1 ? kForceMag : -kForceMag;
+  const double cos_theta = std::cos(theta_);
+  const double sin_theta = std::sin(theta_);
+
+  const double temp =
+      (force + kPoleMassLength * theta_dot_ * theta_dot_ * sin_theta) / kTotalMass;
+  const double theta_acc =
+      (kGravity * sin_theta - cos_theta * temp) /
+      (kPoleHalfLength * (4.0 / 3.0 - kMassPole * cos_theta * cos_theta / kTotalMass));
+  const double x_acc = temp - kPoleMassLength * theta_acc * cos_theta / kTotalMass;
+
+  x_ += kTau * x_dot_;
+  x_dot_ += kTau * x_acc;
+  theta_ += kTau * theta_dot_;
+  theta_dot_ += kTau * theta_acc;
+  ++steps_;
+
+  done_ = std::abs(x_) > kXThreshold || std::abs(theta_) > kThetaThreshold ||
+          steps_ >= kMaxSteps;
+
+  StepResult result;
+  result.observation = observation();
+  result.reward = 1.0f;
+  result.done = done_;
+  return result;
+}
+
+std::vector<float> CartPole::observation() const {
+  return {static_cast<float>(x_), static_cast<float>(x_dot_),
+          static_cast<float>(theta_), static_cast<float>(theta_dot_)};
+}
+
+}  // namespace xt

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "common/rng.h"
+#include "envs/environment.h"
+
+namespace xt {
+
+/// Faithful port of the classic Gym CartPole-v1 dynamics (Barto, Sutton &
+/// Anderson cart-pole; Euler integration at 0.02s): 4-dim observation
+/// [x, x_dot, theta, theta_dot], 2 actions (push left/right), +1 reward per
+/// step, episode ends at |x| > 2.4, |theta| > 12 degrees, or 500 steps.
+class CartPole final : public Environment {
+ public:
+  CartPole() = default;
+
+  std::vector<float> reset(std::uint64_t seed) override;
+  StepResult step(std::int32_t action) override;
+
+  [[nodiscard]] std::size_t observation_dim() const override { return 4; }
+  [[nodiscard]] std::int32_t action_count() const override { return 2; }
+  [[nodiscard]] std::string name() const override { return "CartPole"; }
+
+ private:
+  [[nodiscard]] std::vector<float> observation() const;
+
+  Rng rng_{0};
+  double x_ = 0.0, x_dot_ = 0.0, theta_ = 0.0, theta_dot_ = 0.0;
+  int steps_ = 0;
+  bool done_ = true;
+};
+
+}  // namespace xt

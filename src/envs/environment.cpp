@@ -1,0 +1,37 @@
+#include "envs/environment.h"
+
+#include <cassert>
+
+namespace xt {
+
+VectorEnv::VectorEnv(std::vector<std::unique_ptr<Environment>> envs,
+                     std::uint64_t base_seed)
+    : envs_(std::move(envs)), base_seed_(base_seed) {}
+
+std::vector<std::vector<float>> VectorEnv::reset_all() {
+  std::vector<std::vector<float>> obs;
+  obs.reserve(envs_.size());
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    obs.push_back(envs_[i]->reset(base_seed_ + i));
+  }
+  return obs;
+}
+
+std::vector<StepResult> VectorEnv::step_all(const std::vector<std::int32_t>& actions) {
+  assert(actions.size() == envs_.size());
+  std::vector<StepResult> results;
+  results.reserve(envs_.size());
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    StepResult r = envs_[i]->step(actions[i]);
+    if (r.done) {
+      ++episode_counter_;
+      // Auto-reset: the observation handed out is the fresh episode's start,
+      // matching common vectorized-env conventions.
+      r.observation = envs_[i]->reset(base_seed_ + envs_.size() + episode_counter_);
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace xt

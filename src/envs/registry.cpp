@@ -1,0 +1,59 @@
+#include "envs/registry.h"
+
+#include <map>
+#include <mutex>
+
+#include "envs/cartpole.h"
+#include "envs/synth_arcade.h"
+
+namespace xt {
+namespace {
+
+std::mutex g_mu;
+
+std::map<std::string, EnvFactory>& custom_factories() {
+  static std::map<std::string, EnvFactory> factories;
+  return factories;
+}
+
+std::unique_ptr<Environment> make_builtin(const std::string& name) {
+  if (name == "CartPole") return std::make_unique<CartPole>();
+  if (name == "SynthBreakout") return std::make_unique<SynthBreakout>();
+  if (name == "SynthQbert") return std::make_unique<SynthQbert>();
+  if (name == "SynthSpaceInvaders") return std::make_unique<SynthSpaceInvaders>();
+  if (name == "SynthBeamRider") return std::make_unique<SynthBeamRider>();
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Environment> make_environment(const std::string& name) {
+  // Copy the factory out before invoking it: factories are unknown code and
+  // may themselves call make_environment (e.g. wrappers like TimedEnv), so
+  // calling them under g_mu would self-deadlock (Core Guidelines CP.22).
+  EnvFactory factory;
+  {
+    std::scoped_lock lock(g_mu);
+    auto it = custom_factories().find(name);
+    if (it != custom_factories().end()) factory = it->second;
+  }
+  if (factory) return factory();
+  return make_builtin(name);
+}
+
+void register_environment(const std::string& name, EnvFactory factory) {
+  std::scoped_lock lock(g_mu);
+  custom_factories()[name] = std::move(factory);
+}
+
+std::vector<std::string> registered_environments() {
+  std::vector<std::string> names = {"CartPole", "SynthBeamRider", "SynthBreakout",
+                                    "SynthQbert", "SynthSpaceInvaders"};
+  std::scoped_lock lock(g_mu);
+  for (const auto& [name, factory] : custom_factories()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace xt

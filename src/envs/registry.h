@@ -1,0 +1,28 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "envs/environment.h"
+
+namespace xt {
+
+/// Factory registry so that configuration files / benchmark parameters can
+/// name environments by string, exactly like the paper's configuration-file
+/// driven setup (Section 4.2).
+using EnvFactory = std::function<std::unique_ptr<Environment>()>;
+
+/// Create an environment by name. Built-ins: "CartPole", "SynthBreakout",
+/// "SynthQbert", "SynthSpaceInvaders", "SynthBeamRider". Returns nullptr
+/// for unknown names.
+[[nodiscard]] std::unique_ptr<Environment> make_environment(const std::string& name);
+
+/// Register a custom environment (overrides built-ins of the same name).
+void register_environment(const std::string& name, EnvFactory factory);
+
+/// Names of all registered environments (built-ins + custom).
+[[nodiscard]] std::vector<std::string> registered_environments();
+
+}  // namespace xt

@@ -1,0 +1,416 @@
+#include "envs/synth_arcade.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xt {
+namespace {
+constexpr int kMaxEpisodeSteps = 2000;
+
+void one_hot(std::vector<float>& obs, std::size_t base, std::size_t bins, double v01) {
+  const auto idx = std::min(bins - 1, static_cast<std::size_t>(v01 * static_cast<double>(bins)));
+  obs[base + idx] = 1.0f;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SynthBreakout
+// ---------------------------------------------------------------------------
+
+std::vector<float> SynthBreakout::reset(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  paddle_x_ = 0.5;
+  for (auto& row : bricks_) std::fill(std::begin(row), std::end(row), true);
+  bricks_left_ = kBrickRows * kBrickCols;
+  lives_ = 3;
+  steps_ = 0;
+  done_ = false;
+  launch_ball();
+  return observation();
+}
+
+void SynthBreakout::launch_ball() {
+  ball_x_ = rng_.uniform(0.3, 0.7);
+  ball_y_ = 0.4;
+  vel_x_ = rng_.uniform(-0.02, 0.02);
+  vel_y_ = -0.025;
+}
+
+StepResult SynthBreakout::step(std::int32_t action) {
+  assert(!done_);
+  assert(action >= 0 && action < 3);
+  StepResult result;
+  ++steps_;
+
+  paddle_x_ += (action - 1) * 0.05;
+  paddle_x_ = std::clamp(paddle_x_, 0.0, 1.0);
+
+  ball_x_ += vel_x_;
+  ball_y_ += vel_y_;
+  if (ball_x_ <= 0.0 || ball_x_ >= 1.0) {
+    vel_x_ = -vel_x_;
+    ball_x_ = std::clamp(ball_x_, 0.0, 1.0);
+  }
+  if (ball_y_ >= 1.0) {
+    vel_y_ = -vel_y_;
+    ball_y_ = 1.0;
+  }
+
+  // Brick band occupies y in [0.7, 1.0).
+  if (ball_y_ >= 0.7 && ball_y_ < 1.0 && vel_y_ > 0.0) {
+    const int row = std::min(kBrickRows - 1,
+                             static_cast<int>((ball_y_ - 0.7) / 0.3 * kBrickRows));
+    const int col = std::min(kBrickCols - 1, static_cast<int>(ball_x_ * kBrickCols));
+    if (bricks_[row][col]) {
+      bricks_[row][col] = false;
+      --bricks_left_;
+      result.reward += static_cast<float>(row + 1);
+      vel_y_ = -vel_y_;
+    }
+  }
+
+  // Paddle plane at y = 0.05.
+  if (ball_y_ <= 0.05) {
+    if (std::abs(ball_x_ - paddle_x_) <= 0.1) {
+      vel_y_ = std::abs(vel_y_);
+      vel_x_ += (ball_x_ - paddle_x_) * 0.1 + rng_.uniform(-0.004, 0.004);
+      vel_x_ = std::clamp(vel_x_, -0.04, 0.04);
+      ball_y_ = 0.05;
+    } else {
+      --lives_;
+      if (lives_ > 0) launch_ball();
+    }
+  }
+
+  if (bricks_left_ == 0) {
+    // Cleared the wall: bonus and a fresh wall (Breakout's second screen).
+    result.reward += 30.0f;
+    for (auto& row : bricks_) std::fill(std::begin(row), std::end(row), true);
+    bricks_left_ = kBrickRows * kBrickCols;
+  }
+
+  done_ = lives_ <= 0 || steps_ >= kMaxEpisodeSteps;
+  result.done = done_;
+  result.observation = observation();
+  return result;
+}
+
+std::vector<float> SynthBreakout::observation() const {
+  auto obs = blank_obs();
+  one_hot(obs, 0, 16, paddle_x_);
+  one_hot(obs, 16, 16, ball_x_);
+  one_hot(obs, 32, 16, ball_y_);
+  obs[48] = static_cast<float>(vel_x_ * 25.0);
+  obs[49] = static_cast<float>(vel_y_ * 25.0);
+  obs[50] = static_cast<float>(lives_) / 3.0f;
+  for (int r = 0; r < kBrickRows; ++r) {
+    for (int c = 0; c < kBrickCols; ++c) {
+      obs[51 + r * kBrickCols + c] = bricks_[r][c] ? 1.0f : 0.0f;
+    }
+  }
+  return obs;
+}
+
+// ---------------------------------------------------------------------------
+// SynthSpaceInvaders
+// ---------------------------------------------------------------------------
+
+std::vector<float> SynthSpaceInvaders::reset(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  ship_x_ = kWidth / 2;
+  for (auto& row : aliens_) std::fill(std::begin(row), std::end(row), true);
+  aliens_left_ = kAlienRows * kAlienCols;
+  grid_x_ = 0;
+  grid_y_ = 0;
+  march_dir_ = 1;
+  player_shot_x_ = player_shot_y_ = -1;
+  bomb_x_ = bomb_y_ = -1;
+  lives_ = 3;
+  steps_ = 0;
+  done_ = false;
+  return observation();
+}
+
+StepResult SynthSpaceInvaders::step(std::int32_t action) {
+  assert(!done_);
+  assert(action >= 0 && action < 4);
+  StepResult result;
+  ++steps_;
+
+  if (action == 1) ship_x_ = std::max(0, ship_x_ - 1);
+  if (action == 2) ship_x_ = std::min(kWidth - 1, ship_x_ + 1);
+  if (action == 3 && player_shot_y_ < 0) {
+    player_shot_x_ = ship_x_;
+    player_shot_y_ = 0;
+  }
+
+  // Player shot travels two cells per step (columns: grid rows sit at
+  // heights grid_y_ .. grid_y_ + kAlienRows - 1 measured from the top; the
+  // ship is at height 11 from the top of a 12-tall playfield).
+  if (player_shot_y_ >= 0) {
+    player_shot_y_ += 2;
+    const int shot_height = 11 - player_shot_y_;  // absolute row from top
+    for (int r = kAlienRows - 1; r >= 0; --r) {
+      const int alien_height = grid_y_ + r;
+      if (alien_height != shot_height && alien_height != shot_height + 1) continue;
+      const int c = player_shot_x_ - grid_x_;
+      if (c >= 0 && c < kAlienCols && aliens_[r][c]) {
+        aliens_[r][c] = false;
+        --aliens_left_;
+        result.reward += static_cast<float>(5 * (kAlienRows - r));
+        player_shot_x_ = player_shot_y_ = -1;
+        break;
+      }
+    }
+    if (player_shot_y_ > 11) player_shot_x_ = player_shot_y_ = -1;
+  }
+
+  // Alien grid marches every 4 steps, drops when it hits a wall.
+  if (steps_ % 4 == 0 && aliens_left_ > 0) {
+    const int next = grid_x_ + march_dir_;
+    if (next < 0 || next + kAlienCols > kWidth) {
+      march_dir_ = -march_dir_;
+      ++grid_y_;
+    } else {
+      grid_x_ = next;
+    }
+  }
+
+  // Occasionally an alien drops a bomb from a random live column.
+  if (bomb_y_ < 0 && rng_.bernoulli(0.08) && aliens_left_ > 0) {
+    std::vector<double> weights(kAlienCols, 0.0);
+    for (int c = 0; c < kAlienCols; ++c) {
+      for (const auto& row : aliens_) {
+        if (row[c]) weights[c] = 1.0;
+      }
+    }
+    const int c = static_cast<int>(rng_.categorical(weights));
+    bomb_x_ = grid_x_ + c;
+    bomb_y_ = grid_y_ + kAlienRows;
+  }
+  if (bomb_y_ >= 0) {
+    ++bomb_y_;
+    if (bomb_y_ >= 11) {
+      if (bomb_x_ == ship_x_) --lives_;
+      bomb_x_ = bomb_y_ = -1;
+    }
+  }
+
+  if (aliens_left_ == 0) {
+    // Wave cleared: bonus, new descent.
+    result.reward += 50.0f;
+    for (auto& row : aliens_) std::fill(std::begin(row), std::end(row), true);
+    aliens_left_ = kAlienRows * kAlienCols;
+    grid_x_ = 0;
+    grid_y_ = 0;
+  }
+
+  const bool invaded = grid_y_ + kAlienRows >= 11;
+  done_ = lives_ <= 0 || invaded || steps_ >= kMaxEpisodeSteps;
+  result.done = done_;
+  result.observation = observation();
+  return result;
+}
+
+std::vector<float> SynthSpaceInvaders::observation() const {
+  auto obs = blank_obs();
+  obs[static_cast<std::size_t>(ship_x_)] = 1.0f;
+  for (int r = 0; r < kAlienRows; ++r) {
+    for (int c = 0; c < kAlienCols; ++c) {
+      obs[16 + r * kAlienCols + c] = aliens_[r][c] ? 1.0f : 0.0f;
+    }
+  }
+  obs[48] = static_cast<float>(grid_x_) / kWidth;
+  obs[49] = static_cast<float>(grid_y_) / 12.0f;
+  obs[50] = static_cast<float>(march_dir_);
+  if (player_shot_y_ >= 0) {
+    obs[51] = 1.0f;
+    obs[52] = static_cast<float>(player_shot_x_) / kWidth;
+    obs[53] = static_cast<float>(player_shot_y_) / 12.0f;
+  }
+  if (bomb_y_ >= 0) {
+    obs[54] = 1.0f;
+    obs[55] = static_cast<float>(bomb_x_) / kWidth;
+    obs[56] = static_cast<float>(bomb_y_) / 12.0f;
+    obs[57] = static_cast<float>(bomb_x_ - ship_x_) / kWidth;
+  }
+  obs[58] = static_cast<float>(lives_) / 3.0f;
+  return obs;
+}
+
+// ---------------------------------------------------------------------------
+// SynthQbert
+// ---------------------------------------------------------------------------
+
+int SynthQbert::cube_index(int row, int col) {
+  return row * (row + 1) / 2 + col;
+}
+
+std::vector<float> SynthQbert::reset(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  std::fill(std::begin(painted_), std::end(painted_), false);
+  painted_count_ = 0;
+  agent_row_ = 0;
+  agent_col_ = 0;
+  enemy_row_ = kRows - 1;
+  enemy_col_ = static_cast<int>(rng_.uniform_index(kRows));
+  level_ = 0;
+  lives_ = 3;
+  steps_ = 0;
+  done_ = false;
+  painted_[cube_index(0, 0)] = true;
+  painted_count_ = 1;
+  return observation();
+}
+
+StepResult SynthQbert::step(std::int32_t action) {
+  assert(!done_);
+  assert(action >= 0 && action < 4);
+  StepResult result;
+  ++steps_;
+
+  // Diagonal hops on the pyramid: up-left / up-right reduce the row,
+  // down-left / down-right increase it.
+  int new_row = agent_row_;
+  int new_col = agent_col_;
+  switch (action) {
+    case 0: new_row -= 1; new_col -= 1; break;  // up-left
+    case 1: new_row -= 1; break;                // up-right
+    case 2: new_row += 1; break;                // down-left
+    case 3: new_row += 1; new_col += 1; break;  // down-right
+  }
+  if (new_row < 0 || new_row >= kRows || new_col < 0 || new_col > new_row) {
+    // Hopped off the pyramid.
+    --lives_;
+  } else {
+    agent_row_ = new_row;
+    agent_col_ = new_col;
+    const int idx = cube_index(agent_row_, agent_col_);
+    if (!painted_[idx]) {
+      painted_[idx] = true;
+      ++painted_count_;
+      result.reward += 25.0f;
+    }
+  }
+
+  // Enemy ball: random walk downward; respawns at the top when it falls off.
+  if (steps_ % 2 == 0) {
+    const int dir = rng_.bernoulli(0.5) ? 0 : 1;
+    enemy_row_ += 1;
+    enemy_col_ += dir;
+    if (enemy_row_ >= kRows) {
+      enemy_row_ = 0;
+      enemy_col_ = 0;
+    }
+    if (enemy_col_ > enemy_row_) enemy_col_ = enemy_row_;
+  }
+  if (enemy_row_ == agent_row_ && enemy_col_ == agent_col_) {
+    --lives_;
+    // Agent retreats to the apex after being caught.
+    agent_row_ = 0;
+    agent_col_ = 0;
+  }
+
+  if (painted_count_ == kCubes) {
+    result.reward += 100.0f;
+    ++level_;
+    std::fill(std::begin(painted_), std::end(painted_), false);
+    painted_[cube_index(agent_row_, agent_col_)] = true;
+    painted_count_ = 1;
+  }
+
+  done_ = lives_ <= 0 || steps_ >= kMaxEpisodeSteps;
+  result.done = done_;
+  result.observation = observation();
+  return result;
+}
+
+std::vector<float> SynthQbert::observation() const {
+  auto obs = blank_obs();
+  for (int i = 0; i < kCubes; ++i) obs[i] = painted_[i] ? 1.0f : 0.0f;
+  obs[kCubes + cube_index(agent_row_, agent_col_)] = 1.0f;
+  obs[2 * kCubes + cube_index(enemy_row_, enemy_col_)] = 1.0f;
+  obs[3 * kCubes] = static_cast<float>(lives_) / 3.0f;
+  obs[3 * kCubes + 1] = static_cast<float>(level_) / 10.0f;
+  return obs;
+}
+
+// ---------------------------------------------------------------------------
+// SynthBeamRider
+// ---------------------------------------------------------------------------
+
+std::vector<float> SynthBeamRider::reset(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  ship_lane_ = kLanes / 2;
+  for (auto& lane : enemies_) std::fill(std::begin(lane), std::end(lane), false);
+  fire_cooldown_ = 0;
+  lives_ = 3;
+  steps_ = 0;
+  done_ = false;
+  return observation();
+}
+
+StepResult SynthBeamRider::step(std::int32_t action) {
+  assert(!done_);
+  assert(action >= 0 && action < 3);
+  StepResult result;
+  ++steps_;
+
+  if (action == 0) ship_lane_ = std::max(0, ship_lane_ - 1);
+  if (action == 2) ship_lane_ = std::min(kLanes - 1, ship_lane_ + 1);
+  if (fire_cooldown_ > 0) --fire_cooldown_;
+
+  if (action == 1 && fire_cooldown_ == 0) {
+    fire_cooldown_ = 3;
+    // The torpedo instantly hits the nearest enemy in the ship's lane.
+    for (int d = 0; d < kDepth; ++d) {
+      if (enemies_[ship_lane_][d]) {
+        enemies_[ship_lane_][d] = false;
+        result.reward += 11.0f;  // BeamRider awards 44 per white saucer; scaled
+        break;
+      }
+    }
+  }
+
+  // Enemies descend one depth level every other step.
+  if (steps_ % 2 == 0) {
+    for (int lane = 0; lane < kLanes; ++lane) {
+      if (enemies_[lane][0]) {
+        enemies_[lane][0] = false;
+        if (lane == ship_lane_) --lives_;  // collision at the ship's depth
+      }
+      for (int d = 0; d + 1 < kDepth; ++d) {
+        enemies_[lane][d] = enemies_[lane][d + 1];
+      }
+      enemies_[lane][kDepth - 1] = false;
+    }
+  }
+
+  // Spawn pressure grows slightly over the episode.
+  const double spawn_p = 0.15 + 0.05 * std::min(1.0, steps_ / 1000.0);
+  if (rng_.bernoulli(spawn_p)) {
+    const int lane = static_cast<int>(rng_.uniform_index(kLanes));
+    enemies_[lane][kDepth - 1] = true;
+  }
+
+  done_ = lives_ <= 0 || steps_ >= kMaxEpisodeSteps;
+  result.done = done_;
+  result.observation = observation();
+  return result;
+}
+
+std::vector<float> SynthBeamRider::observation() const {
+  auto obs = blank_obs();
+  obs[static_cast<std::size_t>(ship_lane_)] = 1.0f;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    for (int d = 0; d < kDepth; ++d) {
+      obs[8 + lane * kDepth + d] = enemies_[lane][d] ? 1.0f : 0.0f;
+    }
+  }
+  obs[8 + kLanes * kDepth] = static_cast<float>(fire_cooldown_) / 3.0f;
+  obs[8 + kLanes * kDepth + 1] = static_cast<float>(lives_) / 3.0f;
+  return obs;
+}
+
+}  // namespace xt

@@ -1,0 +1,127 @@
+#pragma once
+
+#include "common/rng.h"
+#include "envs/environment.h"
+
+namespace xt {
+
+/// Base for the synthetic arcade MDP family that stands in for the paper's
+/// Atari environments (BeamRider, Breakout, Qbert, SpaceInvaders).
+///
+/// ALE ROMs are unavailable offline, so each game here is a hand-built MDP
+/// with the same interface shape as ALE in RAM-observation mode: a fixed
+/// 128-float observation vector, a small discrete action set, stochastic
+/// episodic dynamics, and game-score-like reward scales. They are genuinely
+/// learnable (a policy that tracks the ball / dodges enemies scores far
+/// above random), which is what the convergence experiments (paper Fig. 6)
+/// need; see DESIGN.md for the substitution rationale.
+class SynthArcade : public Environment {
+ public:
+  static constexpr std::size_t kObsDim = 128;
+
+  [[nodiscard]] std::size_t observation_dim() const override { return kObsDim; }
+
+ protected:
+  [[nodiscard]] std::vector<float> blank_obs() const {
+    return std::vector<float>(kObsDim, 0.0f);
+  }
+
+  Rng rng_{0};
+  bool done_ = true;
+  int steps_ = 0;
+  int lives_ = 0;
+};
+
+/// Breakout-like: keep the ball in play with a paddle, destroy brick rows.
+/// Actions: 0 = left, 1 = stay, 2 = right. Reward: brick value on hit.
+class SynthBreakout final : public SynthArcade {
+ public:
+  std::vector<float> reset(std::uint64_t seed) override;
+  StepResult step(std::int32_t action) override;
+  [[nodiscard]] std::int32_t action_count() const override { return 3; }
+  [[nodiscard]] std::string name() const override { return "SynthBreakout"; }
+
+  static constexpr int kBrickRows = 6;
+  static constexpr int kBrickCols = 12;
+
+ private:
+  [[nodiscard]] std::vector<float> observation() const;
+  void launch_ball();
+
+  double paddle_x_ = 0.5;
+  double ball_x_ = 0.5, ball_y_ = 0.5, vel_x_ = 0.0, vel_y_ = 0.0;
+  bool bricks_[kBrickRows][kBrickCols] = {};
+  int bricks_left_ = 0;
+};
+
+/// Space-Invaders-like: a ship dodges a marching alien grid and shoots.
+/// Actions: 0 = noop, 1 = left, 2 = right, 3 = fire.
+class SynthSpaceInvaders final : public SynthArcade {
+ public:
+  std::vector<float> reset(std::uint64_t seed) override;
+  StepResult step(std::int32_t action) override;
+  [[nodiscard]] std::int32_t action_count() const override { return 4; }
+  [[nodiscard]] std::string name() const override { return "SynthSpaceInvaders"; }
+
+  static constexpr int kWidth = 16;
+  static constexpr int kAlienRows = 4;
+  static constexpr int kAlienCols = 8;
+
+ private:
+  [[nodiscard]] std::vector<float> observation() const;
+
+  int ship_x_ = kWidth / 2;
+  bool aliens_[kAlienRows][kAlienCols] = {};
+  int aliens_left_ = 0;
+  int grid_x_ = 0;       ///< horizontal offset of the alien grid
+  int grid_y_ = 0;       ///< vertical descent of the alien grid
+  int march_dir_ = 1;
+  int player_shot_x_ = -1, player_shot_y_ = -1;  ///< -1 = no shot in flight
+  int bomb_x_ = -1, bomb_y_ = -1;                ///< alien bomb
+};
+
+/// Qbert-like: hop on a pyramid of cubes, painting each; dodge a pursuer.
+/// Actions: diagonal hops 0 = up-left, 1 = up-right, 2 = down-left,
+/// 3 = down-right.
+class SynthQbert final : public SynthArcade {
+ public:
+  std::vector<float> reset(std::uint64_t seed) override;
+  StepResult step(std::int32_t action) override;
+  [[nodiscard]] std::int32_t action_count() const override { return 4; }
+  [[nodiscard]] std::string name() const override { return "SynthQbert"; }
+
+  static constexpr int kRows = 7;  ///< pyramid with row r holding r+1 cubes
+  static constexpr int kCubes = kRows * (kRows + 1) / 2;
+
+ private:
+  [[nodiscard]] std::vector<float> observation() const;
+  [[nodiscard]] static int cube_index(int row, int col);
+
+  bool painted_[kCubes] = {};
+  int painted_count_ = 0;
+  int agent_row_ = 0, agent_col_ = 0;
+  int enemy_row_ = 0, enemy_col_ = 0;
+  int level_ = 0;
+};
+
+/// BeamRider-like: a ship switches between fixed lanes and shoots enemies
+/// that descend toward it. Actions: 0 = left, 1 = fire, 2 = right.
+class SynthBeamRider final : public SynthArcade {
+ public:
+  std::vector<float> reset(std::uint64_t seed) override;
+  StepResult step(std::int32_t action) override;
+  [[nodiscard]] std::int32_t action_count() const override { return 3; }
+  [[nodiscard]] std::string name() const override { return "SynthBeamRider"; }
+
+  static constexpr int kLanes = 5;
+  static constexpr int kDepth = 16;  ///< 0 = at the ship, kDepth-1 = horizon
+
+ private:
+  [[nodiscard]] std::vector<float> observation() const;
+
+  int ship_lane_ = kLanes / 2;
+  bool enemies_[kLanes][kDepth] = {};
+  int fire_cooldown_ = 0;
+};
+
+}  // namespace xt

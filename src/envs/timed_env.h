@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+
+#include "envs/environment.h"
+
+namespace xt {
+
+/// Decorator that makes every step() take (at least) a fixed wall-clock
+/// time, emulating the interaction cost of a real emulator (an ALE Atari
+/// frame-skip step costs on the order of 0.1-1 ms). Benchmarks use this so
+/// that explorers are environment-latency-bound — as they are on the
+/// paper's testbed — rather than bound by this host's core count, which is
+/// what makes the scalability shapes (paper Fig. 11) reproducible on a
+/// small machine.
+class TimedEnv final : public Environment {
+ public:
+  TimedEnv(std::unique_ptr<Environment> inner, std::int64_t step_delay_ns);
+
+  std::vector<float> reset(std::uint64_t seed) override;
+  StepResult step(std::int32_t action) override;
+
+  [[nodiscard]] std::size_t observation_dim() const override {
+    return inner_->observation_dim();
+  }
+  [[nodiscard]] std::int32_t action_count() const override {
+    return inner_->action_count();
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<Environment> inner_;
+  std::int64_t step_delay_ns_;
+};
+
+}  // namespace xt

@@ -1,0 +1,80 @@
+#include "framework/checkpoint.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+#include "serial/binio.h"
+
+namespace xt {
+namespace {
+constexpr std::uint32_t kMagic = 0x50435458;  // "XTCP" little-endian
+constexpr std::uint32_t kFormatVersion = 1;
+}  // namespace
+
+Checkpointer::Checkpointer(std::string path, std::uint32_t every_versions)
+    : path_(std::move(path)), every_versions_(every_versions) {}
+
+bool Checkpointer::maybe_save(const Bytes& weights, std::uint32_t weights_version,
+                              std::uint64_t steps_consumed) {
+  if (weights_version < last_saved_version_ + every_versions_) return false;
+  return save(weights, weights_version, steps_consumed);
+}
+
+bool Checkpointer::save(const Bytes& weights, std::uint32_t weights_version,
+                        std::uint64_t steps_consumed) {
+  BinWriter w;
+  w.u32(kMagic);
+  w.u32(kFormatVersion);
+  w.u32(weights_version);
+  w.u64(steps_consumed);
+  w.bytes(weights);
+
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    XT_LOG_ERROR << "checkpoint: cannot open " << tmp;
+    return false;
+  }
+  const bool wrote = std::fwrite(w.buffer().data(), 1, w.buffer().size(), file) ==
+                     w.buffer().size();
+  std::fclose(file);
+  if (!wrote || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    XT_LOG_ERROR << "checkpoint: failed writing " << path_;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  last_saved_version_ = weights_version;
+  ++saves_;
+  return true;
+}
+
+std::optional<Checkpointer::Snapshot> Checkpointer::load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  Bytes data;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (size > 0) {
+    data.resize(static_cast<std::size_t>(size));
+    if (std::fread(data.data(), 1, data.size(), file) != data.size()) {
+      std::fclose(file);
+      return std::nullopt;
+    }
+  }
+  std::fclose(file);
+
+  BinReader r(data);
+  auto magic = r.u32();
+  auto format = r.u32();
+  auto version = r.u32();
+  auto steps = r.u64();
+  auto weights = r.bytes();
+  if (!magic || *magic != kMagic || !format || *format != kFormatVersion ||
+      !version || !steps || !weights) {
+    return std::nullopt;
+  }
+  return Snapshot{std::move(*weights), *version, *steps};
+}
+
+}  // namespace xt

@@ -1,0 +1,303 @@
+#include "framework/config_file.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace xt {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool parse_double(const std::string& value, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  return end != value.c_str() && *end == '\0';
+}
+
+bool parse_u64(const std::string& value, std::uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(value.c_str(), &end, 10);
+  return end != value.c_str() && *end == '\0';
+}
+
+bool parse_bool(const std::string& value, bool* out) {
+  if (value == "on" || value == "true" || value == "1") {
+    *out = true;
+    return true;
+  }
+  if (value == "off" || value == "false" || value == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+bool parse_list(const std::string& value, std::vector<T>* out) {
+  out->clear();
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    std::uint64_t v;
+    if (!parse_u64(item, &v)) return false;
+    out->push_back(static_cast<T>(v));
+  }
+  return !out->empty();
+}
+
+bool fail(std::string* error, int line, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + message;
+  }
+  return false;
+}
+
+bool apply_algorithm_key(LaunchConfig& config, const std::string& key,
+                         const std::string& value, int line, std::string* error) {
+  AlgoSetup& setup = config.setup;
+  double d = 0.0;
+  std::uint64_t u = 0;
+  if (key == "kind") {
+    if (value == "impala") {
+      setup.kind = AlgoKind::kImpala;
+    } else if (value == "dqn") {
+      setup.kind = AlgoKind::kDqn;
+    } else if (value == "ppo") {
+      setup.kind = AlgoKind::kPpo;
+    } else if (value == "a2c") {
+      setup.kind = AlgoKind::kA2c;
+    } else {
+      return fail(error, line, "unknown algorithm kind '" + value + "'");
+    }
+    return true;
+  }
+  if (key == "env") {
+    setup.env_name = value;
+    return true;
+  }
+  if (key == "seed") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad seed");
+    setup.seed = u;
+    return true;
+  }
+  if (key == "lr") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad lr");
+    setup.dqn.lr = setup.ppo.lr = setup.impala.lr = static_cast<float>(d);
+    return true;
+  }
+  if (key == "gamma") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad gamma");
+    setup.dqn.gamma = setup.ppo.gamma = setup.impala.gamma = static_cast<float>(d);
+    return true;
+  }
+  if (key == "hidden") {
+    std::vector<std::size_t> widths;
+    if (!parse_list(value, &widths)) return fail(error, line, "bad hidden list");
+    setup.dqn.hidden = setup.ppo.hidden = setup.impala.hidden = widths;
+    return true;
+  }
+  if (key == "fragment_len") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad fragment_len");
+    setup.ppo.fragment_len = setup.impala.fragment_len = u;
+    return true;
+  }
+  if (key == "frame_bytes_per_step") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad frame_bytes_per_step");
+    setup.dqn.frame_bytes_per_step = setup.ppo.frame_bytes_per_step =
+        setup.impala.frame_bytes_per_step = u;
+    return true;
+  }
+  if (key == "replay_capacity") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad replay_capacity");
+    setup.dqn.replay_capacity = u;
+    return true;
+  }
+  if (key == "train_start") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad train_start");
+    setup.dqn.train_start = u;
+    return true;
+  }
+  if (key == "batch_size") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad batch_size");
+    setup.dqn.batch_size = u;
+    return true;
+  }
+  if (key == "double_dqn") {
+    bool b = false;
+    if (!parse_bool(value, &b)) return fail(error, line, "bad double_dqn");
+    setup.dqn.double_dqn = b;
+    return true;
+  }
+  if (key == "prioritized_replay") {
+    bool b = false;
+    if (!parse_bool(value, &b)) return fail(error, line, "bad prioritized_replay");
+    setup.dqn.prioritized = b;
+    return true;
+  }
+  if (key == "epochs") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad epochs");
+    setup.ppo.epochs = static_cast<int>(u);
+    return true;
+  }
+  if (key == "clip") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad clip");
+    setup.ppo.clip = static_cast<float>(d);
+    return true;
+  }
+  if (key == "entropy_coef") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad entropy_coef");
+    setup.ppo.entropy_coef = setup.impala.entropy_coef = static_cast<float>(d);
+    return true;
+  }
+  return fail(error, line, "unknown [algorithm] key '" + key + "'");
+}
+
+bool apply_deployment_key(LaunchConfig& config, const std::string& key,
+                          const std::string& value, int line, std::string* error) {
+  DeploymentConfig& deployment = config.deployment;
+  double d = 0.0;
+  std::uint64_t u = 0;
+  if (key == "explorers_per_machine") {
+    std::vector<int> counts;
+    if (!parse_list(value, &counts)) {
+      return fail(error, line, "bad explorers_per_machine list");
+    }
+    deployment.explorers_per_machine = counts;
+    return true;
+  }
+  if (key == "learner_machine") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad learner_machine");
+    deployment.learner_machine = static_cast<std::uint16_t>(u);
+    return true;
+  }
+  if (key == "max_steps") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad max_steps");
+    deployment.max_steps_consumed = u;
+    return true;
+  }
+  if (key == "max_seconds") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad max_seconds");
+    deployment.max_seconds = d;
+    return true;
+  }
+  if (key == "target_return") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad target_return");
+    deployment.target_return = d;
+    return true;
+  }
+  if (key == "target_return_window") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad target_return_window");
+    deployment.target_return_window = static_cast<int>(u);
+    return true;
+  }
+  if (key == "nic_bandwidth_mbps") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad nic_bandwidth_mbps");
+    deployment.link.bandwidth_bytes_per_sec = d * 1e6;
+    return true;
+  }
+  if (key == "ipc_bandwidth_mbps") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad ipc_bandwidth_mbps");
+    deployment.broker.ipc_bandwidth_bytes_per_sec = d * 1e6;
+    return true;
+  }
+  if (key == "compression") {
+    bool b = false;
+    if (!parse_bool(value, &b)) return fail(error, line, "bad compression");
+    deployment.broker.compression.enabled = b;
+    return true;
+  }
+  if (key == "compression_threshold_kb") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad compression_threshold_kb");
+    deployment.broker.compression.threshold_bytes = u * 1024;
+    return true;
+  }
+  if (key == "explorer_send_capacity") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad explorer_send_capacity");
+    deployment.explorer_send_capacity = u;
+    return true;
+  }
+  if (key == "stats_csv") {
+    deployment.stats_csv_path = value;
+    return true;
+  }
+  return fail(error, line, "unknown [deployment] key '" + key + "'");
+}
+
+}  // namespace
+
+std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
+                                                std::string* error) {
+  LaunchConfig config;
+  std::string section;
+  std::stringstream ss(contents);
+  std::string raw_line;
+  int line = 0;
+  while (std::getline(ss, raw_line)) {
+    ++line;
+    std::string text = raw_line;
+    const auto comment = text.find('#');
+    if (comment != std::string::npos) text = text.substr(0, comment);
+    text = trim(text);
+    if (text.empty()) continue;
+
+    if (text.front() == '[') {
+      if (text.back() != ']') {
+        fail(error, line, "unterminated section header");
+        return std::nullopt;
+      }
+      section = text.substr(1, text.size() - 2);
+      if (section != "algorithm" && section != "deployment") {
+        fail(error, line, "unknown section [" + section + "]");
+        return std::nullopt;
+      }
+      continue;
+    }
+
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) {
+      fail(error, line, "expected 'key = value'");
+      return std::nullopt;
+    }
+    const std::string key = trim(text.substr(0, eq));
+    const std::string value = trim(text.substr(eq + 1));
+    if (section.empty()) {
+      fail(error, line, "key outside any section");
+      return std::nullopt;
+    }
+    const bool ok = section == "algorithm"
+                        ? apply_algorithm_key(config, key, value, line, error)
+                        : apply_deployment_key(config, key, value, line, error);
+    if (!ok) return std::nullopt;
+  }
+
+  // PPO's learner must know the explorer count; keep them consistent.
+  config.setup.ppo.n_explorers =
+      static_cast<std::size_t>(config.deployment.total_explorers());
+  return config;
+}
+
+std::optional<LaunchConfig> load_launch_config(const std::string& path,
+                                               std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string contents;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  return parse_launch_config(contents, error);
+}
+
+}  // namespace xt

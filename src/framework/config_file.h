@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "algo/factory.h"
+#include "framework/deployment.h"
+
+namespace xt {
+
+/// XingTian is launched from a configuration file naming the machines, the
+/// learner placement, the explorer counts and the algorithm hyperparameters
+/// (paper Section 3.2.2 / 4.2). This is the C++ analogue: a small
+/// `key = value` format with `[section]` headers and `#` comments.
+///
+/// ```ini
+/// [algorithm]
+/// kind = impala            # impala | dqn | ppo | a2c
+/// env = SynthBreakout
+/// seed = 7
+/// lr = 6e-4
+/// hidden = 64,64
+/// fragment_len = 500
+///
+/// [deployment]
+/// explorers_per_machine = 16,16   # two machines
+/// learner_machine = 0
+/// max_steps = 1000000
+/// max_seconds = 3600
+/// target_return = 0
+/// nic_bandwidth_mbps = 118.04
+/// compression = on
+/// ```
+struct LaunchConfig {
+  AlgoSetup setup;
+  DeploymentConfig deployment;
+};
+
+/// Parse a configuration from file contents. On failure returns nullopt and
+/// (if non-null) fills `error` with a line-tagged message. Unknown keys are
+/// errors: a typo in a config should never silently run the default.
+[[nodiscard]] std::optional<LaunchConfig> parse_launch_config(
+    const std::string& contents, std::string* error = nullptr);
+
+/// Read and parse a configuration file from disk.
+[[nodiscard]] std::optional<LaunchConfig> load_launch_config(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace xt

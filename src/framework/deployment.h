@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/broker.h"
+#include "common/stats.h"
+#include "netsim/paced_pipe.h"
+
+namespace xt {
+
+/// The C++ analogue of XingTian's deployment configuration file (paper
+/// Section 3.2.2): which machines exist, how many explorers run on each,
+/// and where the learner lives. Machine 0 hosts the center controller.
+struct DeploymentConfig {
+  /// explorers_per_machine[m] explorers run on machine m; the vector's size
+  /// is the number of machines.
+  std::vector<int> explorers_per_machine = {4};
+  std::uint16_t learner_machine = 0;
+  LinkConfig link;                 ///< cross-machine NIC characteristics
+  Broker::Options broker;          ///< compression / object-store options
+
+  /// Bound on each explorer's send buffer (0 = unbounded). A bounded buffer
+  /// gives the same backpressure as the Python system's fixed-size plasma
+  /// store: an explorer that outruns the channel blocks instead of queueing
+  /// unbounded rollout bodies.
+  std::size_t explorer_send_capacity = 0;
+
+  // --- training goal (the center controller stops the run when met) ---
+  std::uint64_t max_steps_consumed = 100'000;  ///< 0 = unlimited
+  double max_seconds = 0.0;                    ///< 0 = unlimited
+  double target_return = 0.0;                  ///< 0 = disabled
+  int target_return_window = 20;               ///< episodes averaged for goal
+
+  /// Explorers report stats to the center controller this often (episodes).
+  int stats_every_episodes = 1;
+
+  /// If non-empty, the center controller appends every received statistics
+  /// record to this CSV file (t_seconds,source,key,value) — the paper's
+  /// "collects and visualizes statistics" role (Section 3.2.2).
+  std::string stats_csv_path;
+
+  [[nodiscard]] int total_explorers() const {
+    int total = 0;
+    for (int n : explorers_per_machine) total += n;
+    return total;
+  }
+};
+
+/// Everything a run hands back — enough to regenerate every series the
+/// paper's evaluation plots (throughput over time, latency decomposition,
+/// wait-time CDF, convergence).
+struct RunReport {
+  std::uint64_t steps_consumed = 0;
+  int training_sessions = 0;
+  double wall_seconds = 0.0;
+
+  // Convergence.
+  double avg_episode_return = 0.0;  ///< mean over the final window
+  std::uint64_t episodes = 0;
+
+  // Throughput (steps consumed by the learner per second).
+  double avg_throughput = 0.0;
+  std::vector<ThroughputSeries::Point> throughput_series;
+
+  // Latency decomposition, milliseconds (paper Figs. 8-10 (b)).
+  double mean_transmission_ms = 0.0;  ///< rollout message created -> recv buffer
+  double mean_wait_ms = 0.0;          ///< learner blocked awaiting rollouts
+  double mean_train_ms = 0.0;         ///< one training session
+  /// Replay sampling latency per session (DQN only; 0 otherwise) — the
+  /// learner-local vs replay-actor contrast of paper Fig. 9(b).
+  double mean_replay_sample_ms = 0.0;
+  std::vector<std::pair<double, double>> wait_cdf;  ///< (ms, fraction)
+
+  // Communication volume.
+  std::uint64_t rollout_messages = 0;
+  std::uint64_t rollout_bytes = 0;
+  std::uint64_t weight_broadcasts = 0;
+};
+
+}  // namespace xt

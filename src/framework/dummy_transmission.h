@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/broker.h"
+#include "netsim/paced_pipe.h"
+
+namespace xt {
+
+/// The dummy DRL algorithm of paper Section 5.1: explorers send a fixed
+/// number of messages of configurable size as fast as they can, and the
+/// learner asynchronously receives them round by round (one message per
+/// explorer per round, sender identity ignored), reporting end-to-end
+/// latency and data transmission throughput. The reverse direction (weight
+/// broadcast) is intentionally omitted, exactly as in the paper.
+struct DummyConfig {
+  std::vector<int> explorers_per_machine = {1};
+  std::uint16_t learner_machine = 0;
+  std::size_t message_bytes = 1 << 20;
+  int messages_per_explorer = 20;  ///< the paper's 20 rounds
+  LinkConfig link;
+  Broker::Options broker;
+  /// Payload content: false = pseudo-random (incompressible, the honest
+  /// default for pre-serialized rollouts), true = repetitive (LZ4-friendly).
+  bool compressible_payload = false;
+};
+
+struct DummyResult {
+  double end_to_end_seconds = 0.0;  ///< start of sending -> last message received
+  double throughput_mbps = 0.0;     ///< MB received by the learner per second
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t cross_machine_bytes = 0;  ///< actual bytes on the simulated NIC
+};
+
+/// Run the dummy DRL algorithm on the XingTian channel.
+[[nodiscard]] DummyResult run_dummy_transmission_xingtian(const DummyConfig& config);
+
+/// Build a payload of `size` bytes per the config's compressibility flag.
+[[nodiscard]] Bytes make_dummy_payload(std::size_t size, bool compressible,
+                                       std::uint64_t seed);
+
+}  // namespace xt

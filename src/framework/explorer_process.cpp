@@ -1,0 +1,128 @@
+#include "framework/explorer_process.h"
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/thread_util.h"
+#include "serial/record.h"
+
+namespace xt {
+
+ExplorerProcess::ExplorerProcess(NodeId node, std::uint32_t explorer_index,
+                                 Broker& broker, std::unique_ptr<Environment> env,
+                                 std::unique_ptr<Agent> agent, NodeId learner,
+                                 NodeId controller, const DeploymentConfig& config)
+    : node_(node),
+      explorer_index_(explorer_index),
+      learner_(learner),
+      controller_(controller),
+      stats_every_episodes_(config.stats_every_episodes),
+      endpoint_(node, broker, config.explorer_send_capacity),
+      env_(std::move(env)),
+      agent_(std::move(agent)) {
+  worker_ = std::thread([this] {
+    set_current_thread_name("work-" + node_.name());
+    worker_loop();
+  });
+}
+
+ExplorerProcess::~ExplorerProcess() { shutdown(); }
+
+void ExplorerProcess::request_stop() { stop_.store(true); }
+
+void ExplorerProcess::shutdown() {
+  request_stop();
+  if (worker_.joinable()) worker_.join();
+  endpoint_.stop();
+}
+
+void ExplorerProcess::drain_inbox() {
+  // Apply only the newest weights if several broadcasts queued up.
+  while (auto msg = endpoint_.try_receive()) {
+    switch (msg->header.type) {
+      case MsgType::kWeights:
+        (void)agent_->apply_weights(*msg->body, msg->header.tag);
+        break;
+      case MsgType::kCommand:
+        stop_.store(true);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void ExplorerProcess::ship_batch() {
+  RolloutBatch batch = agent_->take_batch();
+  const std::uint32_t sent_version = batch.weights_version;
+  batches_sent_.fetch_add(1, std::memory_order_relaxed);
+
+  // Deferred producer: serialization runs on the sender thread, so the
+  // rollout worker goes straight back to interacting with the environment.
+  auto shared = std::make_shared<RolloutBatch>(std::move(batch));
+  (void)endpoint_.send(make_deferred_outbound(
+      node_, {learner_}, MsgType::kRollout,
+      [shared] { return shared->serialize(); }, sent_version));
+
+  if (agent_->requires_fresh_weights()) {
+    // On-policy (PPO): block this explorer until the learner's next
+    // broadcast. Other explorers keep exploring; their transmissions
+    // overlap with our waiting (Section 3.2.1).
+    while (!stop_.load() && agent_->weights_version() <= sent_version) {
+      auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
+      if (!msg) continue;
+      if (msg->header.type == MsgType::kWeights) {
+        (void)agent_->apply_weights(*msg->body, msg->header.tag);
+      } else if (msg->header.type == MsgType::kCommand) {
+        stop_.store(true);
+      }
+    }
+  }
+}
+
+void ExplorerProcess::report_episode(double episode_return,
+                                     std::uint64_t episode_steps) {
+  const auto n = episodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (stats_every_episodes_ <= 0 ||
+      n % static_cast<std::uint64_t>(stats_every_episodes_) != 0) {
+    return;
+  }
+  StatsRecord record;
+  record.source = node_.name();
+  record.values["episode_return"] = episode_return;
+  record.values["episode_steps"] = static_cast<double>(episode_steps);
+  record.values["env_steps"] = static_cast<double>(env_steps_.load());
+  (void)endpoint_.send(make_outbound(node_, {controller_}, MsgType::kStats,
+                                     make_payload(record.serialize())));
+}
+
+void ExplorerProcess::worker_loop() {
+  std::uint64_t episode_seed = explorer_index_ * 1'000'003ULL + 17;
+  std::vector<float> obs = env_->reset(episode_seed++);
+  double episode_return = 0.0;
+  std::uint64_t episode_steps = 0;
+
+  while (!stop_.load()) {
+    drain_inbox();
+
+    const std::int32_t action = agent_->infer_action(obs);
+    const StepResult result = env_->step(action);
+    agent_->handle_env_feedback(obs, action, result.reward, result.done,
+                                result.observation);
+    env_steps_.fetch_add(1, std::memory_order_relaxed);
+    episode_return += result.reward;
+    ++episode_steps;
+
+    if (result.done) {
+      report_episode(episode_return, episode_steps);
+      episode_return = 0.0;
+      episode_steps = 0;
+      obs = env_->reset(episode_seed++);
+    } else {
+      obs = result.observation;
+    }
+
+    if (agent_->batch_ready()) ship_batch();
+  }
+}
+
+}  // namespace xt

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "algo/interfaces.h"
+#include "comm/endpoint.h"
+#include "envs/environment.h"
+#include "framework/deployment.h"
+
+namespace xt {
+
+/// The explorer process of paper Fig. 2(a): a rollout worker thread driving
+/// agent-environment interaction, flanked by the endpoint's sender/receiver
+/// threads. The worker only performs local buffer reads/writes; rollout
+/// serialization happens on the sender thread, and weight broadcasts arrive
+/// pre-staged in the receive buffer — the communication-computation overlap.
+class ExplorerProcess {
+ public:
+  /// `explorer_index` is global across machines; `node` carries the machine.
+  ExplorerProcess(NodeId node, std::uint32_t explorer_index, Broker& broker,
+                  std::unique_ptr<Environment> env, std::unique_ptr<Agent> agent,
+                  NodeId learner, NodeId controller, const DeploymentConfig& config);
+  ~ExplorerProcess();
+
+  ExplorerProcess(const ExplorerProcess&) = delete;
+  ExplorerProcess& operator=(const ExplorerProcess&) = delete;
+
+  /// Ask the worker loop to finish (also triggered by a kCommand message).
+  void request_stop();
+  /// Join the worker and tear down the endpoint.
+  void shutdown();
+
+  [[nodiscard]] std::uint64_t env_steps() const { return env_steps_.load(); }
+  [[nodiscard]] std::uint64_t episodes() const { return episodes_.load(); }
+  [[nodiscard]] std::uint64_t batches_sent() const { return batches_sent_.load(); }
+
+ private:
+  void worker_loop();
+  /// Drain the receive buffer; apply the newest weights; honor commands.
+  void drain_inbox();
+  void ship_batch();
+  void report_episode(double episode_return, std::uint64_t episode_steps);
+
+  const NodeId node_;
+  const std::uint32_t explorer_index_;
+  const NodeId learner_;
+  const NodeId controller_;
+  const int stats_every_episodes_;
+
+  Endpoint endpoint_;
+  std::unique_ptr<Environment> env_;
+  std::unique_ptr<Agent> agent_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> env_steps_{0};
+  std::atomic<std::uint64_t> episodes_{0};
+  std::atomic<std::uint64_t> batches_sent_{0};
+
+  std::thread worker_;
+};
+
+}  // namespace xt

@@ -1,0 +1,140 @@
+#include "framework/learner_process.h"
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/thread_util.h"
+#include "serial/record.h"
+
+namespace xt {
+
+LearnerProcess::LearnerProcess(NodeId node, Broker& broker,
+                               std::unique_ptr<Algorithm> algorithm,
+                               std::vector<NodeId> explorers, NodeId controller,
+                               const DeploymentConfig& config)
+    : node_(node),
+      controller_(controller),
+      explorers_(std::move(explorers)),
+      endpoint_(node, broker),
+      algorithm_(std::move(algorithm)) {
+  (void)config;
+  endpoint_.set_latency_recorder(&transmission_ms_);
+  trainer_ = std::thread([this] {
+    set_current_thread_name("train-" + node_.name());
+    trainer_loop();
+  });
+}
+
+LearnerProcess::~LearnerProcess() { shutdown(); }
+
+void LearnerProcess::request_stop() { stop_.store(true); }
+
+void LearnerProcess::shutdown() {
+  request_stop();
+  if (trainer_.joinable()) trainer_.join();
+  endpoint_.stop();
+}
+
+bool LearnerProcess::ingest(Message message) {
+  switch (message.header.type) {
+    case MsgType::kRollout: {
+      rollout_messages_.fetch_add(1, std::memory_order_relaxed);
+      rollout_bytes_.fetch_add(message.body->size(), std::memory_order_relaxed);
+      auto batch = RolloutBatch::deserialize(*message.body);
+      if (!batch) {
+        XT_LOG_ERROR << node_.name() << ": corrupt rollout message";
+        return true;
+      }
+      algorithm_->prepare_data(std::move(*batch));
+      return true;
+    }
+    case MsgType::kCommand:
+      stop_.store(true);
+      return false;
+    default:
+      return true;
+  }
+}
+
+void LearnerProcess::broadcast_weights(const std::vector<std::uint32_t>& respond_to) {
+  std::vector<NodeId> dsts;
+  if (respond_to.empty()) {
+    dsts = explorers_;
+  } else {
+    dsts.reserve(respond_to.size());
+    for (std::uint32_t idx : respond_to) {
+      if (idx < explorers_.size()) dsts.push_back(explorers_[idx]);
+    }
+  }
+  if (dsts.empty()) return;
+  // The trainer produces the message body (serialized parameters); the
+  // sender thread and router handle everything downstream.
+  Bytes weights = algorithm_->weights();
+  (void)endpoint_.send(make_outbound(node_, std::move(dsts), MsgType::kWeights,
+                                     make_payload(std::move(weights)),
+                                     algorithm_->weights_version()));
+  broadcasts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LearnerProcess::trainer_loop() {
+  const Stopwatch run_clock;
+
+  // Announce the starting parameters so explorers generate rollouts against
+  // the learner's actual initial policy. Essential when the learner was
+  // seeded from a snapshot (PBT population cloning, checkpoint restore):
+  // without it, on-policy algorithms would discard every fragment produced
+  // under the explorers' unseeded weights and never train.
+  broadcast_weights({});
+  last_broadcast_version_ = algorithm_->weights_version();
+
+  while (!stop_.load()) {
+    // Block until the algorithm has enough data. This is the "actual wait"
+    // of paper Fig. 8(b)/(c): with the asynchronous channel the data is
+    // usually already staged, so the wait is far below the transmission
+    // latency of any single message.
+    Stopwatch wait_clock;
+    while (!algorithm_->ready_to_train() && !stop_.load()) {
+      auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
+      if (msg && !ingest(std::move(*msg))) break;
+    }
+    if (stop_.load()) break;
+    wait_ms_.add(wait_clock.elapsed_ms());
+
+    // Aggressively drain everything else that has already arrived.
+    while (auto msg = endpoint_.try_receive()) {
+      if (!ingest(std::move(*msg))) break;
+    }
+    if (stop_.load()) break;
+
+    Stopwatch train_clock;
+    Algorithm::TrainResult result = algorithm_->train();
+    train_ms_.add(train_clock.elapsed_ms());
+
+    steps_consumed_.fetch_add(result.steps_consumed, std::memory_order_relaxed);
+    sessions_.fetch_add(1, std::memory_order_relaxed);
+    throughput_.add(run_clock.elapsed_s(),
+                    static_cast<double>(result.steps_consumed));
+
+    if (!result.respond_to.empty()) {
+      // IMPALA-style: reply with fresh weights exactly to the explorers
+      // whose rollouts were consumed.
+      broadcast_weights(result.respond_to);
+    } else if (algorithm_->weights_version() != last_broadcast_version_) {
+      if (++trains_since_broadcast_ >= algorithm_->broadcast_interval()) {
+        broadcast_weights({});
+        last_broadcast_version_ = algorithm_->weights_version();
+        trains_since_broadcast_ = 0;
+      }
+    }
+
+    if (sessions_.load() % 50 == 0) {
+      StatsRecord record;
+      record.source = node_.name();
+      record.values["steps_consumed"] = static_cast<double>(steps_consumed_.load());
+      record.values["sessions"] = sessions_.load();
+      (void)endpoint_.send(make_outbound(node_, {controller_}, MsgType::kStats,
+                                         make_payload(record.serialize())));
+    }
+  }
+}
+
+}  // namespace xt

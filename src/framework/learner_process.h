@@ -1,0 +1,83 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "algo/interfaces.h"
+#include "comm/endpoint.h"
+#include "common/stats.h"
+#include "framework/deployment.h"
+
+namespace xt {
+
+/// The learner process of paper Fig. 2(a): the trainer thread consumes
+/// rollout messages that the asynchronous channel has already staged in the
+/// receive buffer, trains, and hands weight broadcasts to the sender thread.
+///
+/// Instrumented for the paper's Figs. 8-10: per-session wait time (how long
+/// the trainer actually blocked for rollouts), training time, and rollout
+/// transmission latency (message creation -> receive buffer).
+class LearnerProcess {
+ public:
+  LearnerProcess(NodeId node, Broker& broker, std::unique_ptr<Algorithm> algorithm,
+                 std::vector<NodeId> explorers, NodeId controller,
+                 const DeploymentConfig& config);
+  ~LearnerProcess();
+
+  LearnerProcess(const LearnerProcess&) = delete;
+  LearnerProcess& operator=(const LearnerProcess&) = delete;
+
+  void request_stop();
+  void shutdown();
+
+  [[nodiscard]] std::uint64_t steps_consumed() const { return steps_consumed_.load(); }
+  [[nodiscard]] int training_sessions() const { return sessions_.load(); }
+  [[nodiscard]] std::uint64_t weight_broadcasts() const { return broadcasts_.load(); }
+  [[nodiscard]] std::uint64_t rollout_messages() const { return rollout_messages_.load(); }
+  [[nodiscard]] std::uint64_t rollout_bytes() const { return rollout_bytes_.load(); }
+
+  /// Serialized policy snapshot. Only safe after shutdown() (the trainer
+  /// thread owns the algorithm while running). Used by PBT to clone the
+  /// best population's weights.
+  [[nodiscard]] Bytes snapshot_weights() const { return algorithm_->weights(); }
+
+  /// Read-only view of the algorithm (e.g. replay sampling latency).
+  [[nodiscard]] const Algorithm& algorithm() const { return *algorithm_; }
+
+  [[nodiscard]] const ThroughputSeries& throughput() const { return throughput_; }
+  [[nodiscard]] const LatencyRecorder& wait_times_ms() const { return wait_ms_; }
+  [[nodiscard]] const LatencyRecorder& train_times_ms() const { return train_ms_; }
+  [[nodiscard]] const LatencyRecorder& transmission_ms() const { return transmission_ms_; }
+
+ private:
+  void trainer_loop();
+  bool ingest(Message message);  ///< returns false on a stop command
+  void broadcast_weights(const std::vector<std::uint32_t>& respond_to);
+
+  const NodeId node_;
+  const NodeId controller_;
+  std::vector<NodeId> explorers_;  ///< indexed by global explorer index
+
+  Endpoint endpoint_;
+  std::unique_ptr<Algorithm> algorithm_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> steps_consumed_{0};
+  std::atomic<int> sessions_{0};
+  std::atomic<std::uint64_t> broadcasts_{0};
+  std::atomic<std::uint64_t> rollout_messages_{0};
+  std::atomic<std::uint64_t> rollout_bytes_{0};
+
+  ThroughputSeries throughput_{1.0};
+  LatencyRecorder wait_ms_;
+  LatencyRecorder train_ms_;
+  LatencyRecorder transmission_ms_;
+  std::uint32_t last_broadcast_version_ = 0;
+  int trains_since_broadcast_ = 0;
+
+  std::thread trainer_;
+};
+
+}  // namespace xt

@@ -1,0 +1,199 @@
+#include "framework/runtime.h"
+
+#include <cassert>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/thread_util.h"
+#include "envs/registry.h"
+#include "serial/record.h"
+
+namespace xt {
+
+XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
+    : setup_(std::move(setup)), config_(std::move(config)) {
+  const auto n_machines = static_cast<std::uint16_t>(config_.explorers_per_machine.size());
+  assert(n_machines >= 1);
+  assert(config_.learner_machine < n_machines);
+
+  // Probe the environment once for network sizing.
+  auto probe = make_environment(setup_.env_name);
+  assert(probe && "unknown environment name");
+  const std::size_t obs_dim = probe->observation_dim();
+  const std::int32_t n_actions = probe->action_count();
+
+  // One broker per machine; data fabric between all machine pairs (the
+  // learner's machine is the hot center; stats also flow to machine 0).
+  for (std::uint16_t m = 0; m < n_machines; ++m) {
+    brokers_.push_back(std::make_unique<Broker>(m, config_.broker));
+  }
+  fabric_ = std::make_unique<Fabric>(config_.link);
+  for (std::uint16_t a = 0; a < n_machines; ++a) {
+    for (std::uint16_t b = a + 1; b < n_machines; ++b) {
+      fabric_->connect(*brokers_[a], *brokers_[b]);
+    }
+  }
+
+  controller_id_ = controller_id(0);
+  learner_id_ = learner_id(config_.learner_machine);
+
+  controller_endpoint_ = std::make_unique<Endpoint>(controller_id_, *brokers_[0]);
+
+  // Explorer ids: global index, resident machine from the deployment map.
+  std::uint32_t global_index = 0;
+  for (std::uint16_t m = 0; m < n_machines; ++m) {
+    for (int i = 0; i < config_.explorers_per_machine[m]; ++i) {
+      explorer_ids_.push_back(explorer_id(m, static_cast<std::uint16_t>(global_index)));
+      ++global_index;
+    }
+  }
+
+  learner_ = std::make_unique<LearnerProcess>(
+      learner_id_, *brokers_[config_.learner_machine],
+      make_algorithm(setup_, obs_dim, n_actions), explorer_ids_, controller_id_,
+      config_);
+
+  for (std::uint32_t i = 0; i < explorer_ids_.size(); ++i) {
+    const NodeId id = explorer_ids_[i];
+    explorers_.push_back(std::make_unique<ExplorerProcess>(
+        id, i, *brokers_[id.machine], make_environment(setup_.env_name),
+        make_agent(setup_, obs_dim, n_actions, i), learner_id_, controller_id_,
+        config_));
+  }
+
+  if (!config_.stats_csv_path.empty()) {
+    stats_csv_ = std::fopen(config_.stats_csv_path.c_str(), "w");
+    if (stats_csv_ != nullptr) {
+      std::fprintf(stats_csv_, "t_seconds,source,key,value\n");
+    } else {
+      XT_LOG_WARN << "cannot open stats csv " << config_.stats_csv_path;
+    }
+  }
+
+  controller_thread_ = std::thread([this] {
+    set_current_thread_name("controller");
+    controller_loop();
+  });
+}
+
+XingTianRuntime::~XingTianRuntime() {
+  stop_.store(true);
+  for (auto& explorer : explorers_) explorer->shutdown();
+  if (learner_) learner_->shutdown();
+  if (controller_thread_.joinable()) controller_thread_.join();
+  if (stats_csv_ != nullptr) {
+    std::fclose(stats_csv_);
+    stats_csv_ = nullptr;
+  }
+  if (controller_endpoint_) controller_endpoint_->stop();
+  if (fabric_) fabric_->stop();
+  for (auto& broker : brokers_) broker->stop();
+}
+
+void XingTianRuntime::controller_loop() {
+  // Center controller: collect statistics from explorers and the learner
+  // (paper Section 3.2.2). Episode returns feed the convergence goal.
+  const Stopwatch clock;
+  while (!stop_.load()) {
+    auto msg = controller_endpoint_->receive_for(std::chrono::milliseconds(20));
+    if (!msg) continue;
+    if (msg->header.type != MsgType::kStats) continue;
+    auto record = StatsRecord::deserialize(*msg->body);
+    if (!record) continue;
+    if (stats_csv_ != nullptr) {
+      for (const auto& [key, value] : record->values) {
+        std::fprintf(stats_csv_, "%.3f,%s,%s,%.6g\n", clock.elapsed_s(),
+                     record->source.c_str(), key.c_str(), value);
+      }
+      std::fflush(stats_csv_);
+    }
+    auto it = record->values.find("episode_return");
+    if (it != record->values.end()) {
+      std::scoped_lock lock(returns_mu_);
+      recent_returns_.push_back(it->second);
+      ++episodes_reported_;
+      const auto cap = static_cast<std::size_t>(
+          std::max(100, config_.target_return_window));
+      while (recent_returns_.size() > cap) recent_returns_.pop_front();
+    }
+  }
+}
+
+double XingTianRuntime::recent_return() const {
+  std::scoped_lock lock(returns_mu_);
+  if (recent_returns_.empty()) return 0.0;
+  const auto window = static_cast<std::size_t>(config_.target_return_window);
+  const std::size_t n = std::min(window, recent_returns_.size());
+  double sum = 0.0;
+  for (std::size_t i = recent_returns_.size() - n; i < recent_returns_.size(); ++i) {
+    sum += recent_returns_[i];
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::uint64_t XingTianRuntime::episodes_reported() const {
+  std::scoped_lock lock(returns_mu_);
+  return episodes_reported_;
+}
+
+void XingTianRuntime::broadcast_shutdown() {
+  // The center controller broadcasts shutdown commands through the channel
+  // (paper Section 3.2.2); request_stop below is the belt-and-braces local
+  // fallback for workhorses blocked outside their inboxes.
+  std::vector<NodeId> everyone = explorer_ids_;
+  everyone.push_back(learner_id_);
+  (void)controller_endpoint_->send(make_outbound(
+      controller_id_, std::move(everyone), MsgType::kCommand, empty_payload()));
+}
+
+RunReport XingTianRuntime::run() {
+  assert(!ran_ && "run() is single-shot");
+  ran_ = true;
+
+  const Stopwatch clock;
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (config_.max_steps_consumed > 0 &&
+        learner_->steps_consumed() >= config_.max_steps_consumed) {
+      break;
+    }
+    if (config_.max_seconds > 0.0 && clock.elapsed_s() >= config_.max_seconds) {
+      break;
+    }
+    if (config_.target_return > 0.0 && episodes_reported() >=
+            static_cast<std::uint64_t>(config_.target_return_window) &&
+        recent_return() >= config_.target_return) {
+      break;
+    }
+  }
+  const double wall = clock.elapsed_s();
+
+  broadcast_shutdown();
+  for (auto& explorer : explorers_) explorer->request_stop();
+  learner_->request_stop();
+  stop_.store(true);
+  for (auto& explorer : explorers_) explorer->shutdown();
+  learner_->shutdown();
+
+  RunReport report;
+  report.steps_consumed = learner_->steps_consumed();
+  report.training_sessions = learner_->training_sessions();
+  report.wall_seconds = wall;
+  report.avg_episode_return = recent_return();
+  report.episodes = episodes_reported();
+  report.avg_throughput = wall > 0 ? static_cast<double>(report.steps_consumed) / wall : 0;
+  report.throughput_series = learner_->throughput().series();
+  report.mean_transmission_ms = learner_->transmission_ms().mean();
+  report.mean_wait_ms = learner_->wait_times_ms().mean();
+  report.mean_train_ms = learner_->train_times_ms().mean();
+  if (const LatencyRecorder* sample = learner_->algorithm().replay_sample_latency()) {
+    report.mean_replay_sample_ms = sample->mean();
+  }
+  report.wait_cdf = learner_->wait_times_ms().cdf(101);
+  report.rollout_messages = learner_->rollout_messages();
+  report.rollout_bytes = learner_->rollout_bytes();
+  report.weight_broadcasts = learner_->weight_broadcasts();
+  return report;
+}
+
+}  // namespace xt

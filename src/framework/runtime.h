@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "algo/factory.h"
+#include "comm/broker.h"
+#include "comm/endpoint.h"
+#include "framework/deployment.h"
+#include "framework/explorer_process.h"
+#include "framework/learner_process.h"
+#include "netsim/fabric.h"
+
+namespace xt {
+
+/// The XingTian runtime: the C++ analogue of launching XingTian from its
+/// configuration file (paper Section 3.2.2). Construction plays the role of
+/// the controllers' initialization broadcast — it creates one broker per
+/// machine, the inter-machine data fabric (full duplex paced links), the
+/// learner, and the explorers. run() plays the center controller: it
+/// collects statistics, watches the training goal (steps consumed / target
+/// return / wall clock), and broadcasts shutdown when the goal is met.
+class XingTianRuntime {
+ public:
+  XingTianRuntime(AlgoSetup setup, DeploymentConfig config);
+  ~XingTianRuntime();
+
+  XingTianRuntime(const XingTianRuntime&) = delete;
+  XingTianRuntime& operator=(const XingTianRuntime&) = delete;
+
+  /// Run to the configured goal; blocking. Callable once.
+  RunReport run();
+
+  /// Introspection for tests.
+  [[nodiscard]] LearnerProcess& learner() { return *learner_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<ExplorerProcess>>& explorers() const {
+    return explorers_;
+  }
+  [[nodiscard]] double recent_return() const;
+  [[nodiscard]] std::uint64_t episodes_reported() const;
+
+ private:
+  void controller_loop();
+  void broadcast_shutdown();
+
+  AlgoSetup setup_;
+  DeploymentConfig config_;
+
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<Endpoint> controller_endpoint_;
+  std::unique_ptr<LearnerProcess> learner_;
+  std::vector<std::unique_ptr<ExplorerProcess>> explorers_;
+  std::vector<NodeId> explorer_ids_;
+  NodeId learner_id_;
+  NodeId controller_id_;
+
+  std::atomic<bool> stop_{false};
+  std::FILE* stats_csv_ = nullptr;  ///< owned; controller thread only
+  mutable std::mutex returns_mu_;
+  std::deque<double> recent_returns_;
+  std::uint64_t episodes_reported_ = 0;
+  std::thread controller_thread_;
+  bool ran_ = false;
+};
+
+}  // namespace xt

@@ -1,0 +1,53 @@
+#include "netsim/fabric.h"
+
+namespace xt {
+
+Fabric::Fabric(LinkConfig default_link) : default_link_(default_link) {}
+
+Fabric::~Fabric() { stop(); }
+
+void Fabric::connect(Broker& a, Broker& b) { connect(a, b, default_link_); }
+
+void Fabric::connect(Broker& a, Broker& b, LinkConfig link) {
+  connect_one_way(a, b, link);
+  connect_one_way(b, a, link);
+}
+
+void Fabric::connect_one_way(Broker& from, Broker& to, const LinkConfig& link) {
+  auto pipe = std::make_unique<PacedPipe>(
+      "m" + std::to_string(from.machine()) + ">m" + std::to_string(to.machine()),
+      link);
+  PacedPipe* raw = pipe.get();
+  Broker* target = &to;
+  from.set_remote_sink(to.machine(), [raw, target](MessageHeader header, Payload body) {
+    const std::size_t wire = body->size();
+    auto shared_header = std::make_shared<MessageHeader>(std::move(header));
+    raw->send(wire, [target, shared_header, body = std::move(body)]() mutable {
+      target->deliver_remote(std::move(*shared_header), std::move(body));
+    });
+  });
+  std::scoped_lock lock(mu_);
+  pipes_.push_back(std::move(pipe));
+}
+
+void Fabric::stop() {
+  std::scoped_lock lock(mu_);
+  for (auto& pipe : pipes_) pipe->stop();
+}
+
+std::uint64_t Fabric::total_bytes() const {
+  std::scoped_lock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& pipe : pipes_) total += pipe->bytes_transferred();
+  return total;
+}
+
+std::vector<const PacedPipe*> Fabric::pipes() const {
+  std::scoped_lock lock(mu_);
+  std::vector<const PacedPipe*> out;
+  out.reserve(pipes_.size());
+  for (const auto& pipe : pipes_) out.push_back(pipe.get());
+  return out;
+}
+
+}  // namespace xt

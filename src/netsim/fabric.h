@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/broker.h"
+#include "netsim/paced_pipe.h"
+
+namespace xt {
+
+/// Wires brokers on different simulated machines together with full-duplex
+/// paced links, forming the data-transmission fabric of paper Fig. 2(b).
+/// The controller establishes these routes during initialization; the
+/// machine hosting the learner is the natural center of traffic.
+class Fabric {
+ public:
+  explicit Fabric(LinkConfig default_link = {});
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Create a bidirectional link between two brokers and install the
+  /// corresponding remote sinks. Brokers must outlive the fabric or stop()
+  /// must be called before they are destroyed.
+  void connect(Broker& a, Broker& b);
+  void connect(Broker& a, Broker& b, LinkConfig link);
+
+  /// Stop all pipes (idempotent). Call before destroying the brokers.
+  void stop();
+
+  /// Total bytes moved across all links (both directions).
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Access individual pipes for per-link diagnostics.
+  [[nodiscard]] std::vector<const PacedPipe*> pipes() const;
+
+ private:
+  void connect_one_way(Broker& from, Broker& to, const LinkConfig& link);
+
+  const LinkConfig default_link_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<PacedPipe>> pipes_;
+};
+
+}  // namespace xt

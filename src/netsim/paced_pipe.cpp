@@ -1,0 +1,42 @@
+#include "netsim/paced_pipe.h"
+
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/thread_util.h"
+
+namespace xt {
+
+PacedPipe::PacedPipe(std::string name, LinkConfig config)
+    : name_(std::move(name)), config_(config) {
+  transmitter_ = std::thread([this] {
+    set_current_thread_name("pipe-" + name_);
+    transmit_loop();
+  });
+}
+
+PacedPipe::~PacedPipe() { stop(); }
+
+void PacedPipe::stop() {
+  queue_.close();
+  if (transmitter_.joinable()) transmitter_.join();
+}
+
+bool PacedPipe::send(std::size_t wire_bytes, std::function<void()> deliver) {
+  return queue_.push(Frame{wire_bytes, std::move(deliver)});
+}
+
+void PacedPipe::transmit_loop() {
+  while (auto frame = queue_.pop()) {
+    const double total_bytes =
+        static_cast<double>(frame->wire_bytes + config_.frame_overhead_bytes);
+    const auto serialize_ns = static_cast<std::int64_t>(
+        std::llround(total_bytes / config_.bandwidth_bytes_per_sec * 1e9));
+    precise_sleep_ns(serialize_ns + config_.latency_ns);
+    bytes_transferred_.fetch_add(frame->wire_bytes, std::memory_order_relaxed);
+    frames_transferred_.fetch_add(1, std::memory_order_relaxed);
+    frame->deliver();
+  }
+}
+
+}  // namespace xt

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/blocking_queue.h"
+
+namespace xt {
+
+/// Link characteristics. The default bandwidth is the measured NIC
+/// bandwidth between the paper's machines (118.04 MB/s over 1 GbE, Fig. 5),
+/// so cross-machine experiments are paced exactly like the testbed.
+struct LinkConfig {
+  double bandwidth_bytes_per_sec = 118.04e6;
+  std::int64_t latency_ns = 100'000;      ///< propagation delay per frame
+  std::size_t frame_overhead_bytes = 128; ///< header/framing cost per message
+};
+
+/// One direction of a simulated NIC: frames are delivered in order, paced in
+/// real wall-clock time at the configured bandwidth. The delivery action
+/// runs on the pipe's own thread, so a slow consumer models head-of-line
+/// blocking exactly as a TCP stream would.
+class PacedPipe {
+ public:
+  PacedPipe(std::string name, LinkConfig config);
+  ~PacedPipe();
+
+  PacedPipe(const PacedPipe&) = delete;
+  PacedPipe& operator=(const PacedPipe&) = delete;
+
+  /// Queue a frame of `wire_bytes` for transmission; `deliver` runs once the
+  /// simulated transfer completes. Returns false after stop().
+  bool send(std::size_t wire_bytes, std::function<void()> deliver);
+
+  /// Drain and stop the transmit thread (idempotent).
+  void stop();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t bytes_transferred() const {
+    return bytes_transferred_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_transferred() const {
+    return frames_transferred_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t queued_frames() const { return queue_.size(); }
+
+ private:
+  struct Frame {
+    std::size_t wire_bytes;
+    std::function<void()> deliver;
+  };
+
+  void transmit_loop();
+
+  const std::string name_;
+  const LinkConfig config_;
+  BlockingQueue<Frame> queue_;
+  std::atomic<std::uint64_t> bytes_transferred_{0};
+  std::atomic<std::uint64_t> frames_transferred_{0};
+  std::thread transmitter_;
+};
+
+}  // namespace xt

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <functional>
+
+#include "nn/mlp.h"
+
+namespace xt::nn {
+
+/// Numerical gradient verification: perturbs every parameter of `net` by
+/// +/- eps, evaluates `loss_fn` (which must run forward_train + backward on
+/// the SAME batch each call and return the scalar loss), and compares the
+/// analytic gradients against central differences.
+///
+/// Returns the `quantile`-th relative error across all parameters (1.0 =
+/// maximum). Tests assert this is tiny; it is the ground truth for the
+/// hand-written backprop. Use a quantile slightly below 1.0 for ReLU nets:
+/// a parameter whose perturbation crosses the ReLU kink has a genuinely
+/// discontinuous derivative and produces a spurious finite-difference
+/// mismatch there.
+double max_gradient_error(Mlp& net, const std::function<float()>& loss_fn,
+                          float eps = 1e-3f, double quantile = 1.0);
+
+}  // namespace xt::nn

@@ -1,0 +1,121 @@
+#include "nn/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace xt::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0f);
+}
+
+Matrix Matrix::he_normal(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(rows));
+  for (auto& v : m.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return m;
+}
+
+Matrix Matrix::from_row(const std::vector<float>& row) {
+  Matrix m(1, row.size());
+  m.data_ = row;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix{};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    std::copy(rows[r].begin(), rows[r].end(), m.row_ptr(r));
+  }
+  return m;
+}
+
+std::vector<float> Matrix::row(std::size_t r) const {
+  return {row_ptr(r), row_ptr(r) + cols_};
+}
+
+void Matrix::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::add_inplace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::scale_inplace(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and c rows, cache friendly.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float* ci = c.row_ptr(i);
+    const float* ai = a.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = ai[k];
+      if (aik == 0.0f) continue;
+      const float* bk = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* ak = a.row_ptr(k);
+    const float* bk = b.row_ptr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = ak[i];
+      if (aki == 0.0f) continue;
+      float* ci = c.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row_ptr(i);
+    float* ci = c.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* bj = b.row_ptr(j);
+      float sum = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
+      ci[j] = sum;
+    }
+  }
+  return c;
+}
+
+void add_row_inplace(Matrix& x, const Matrix& bias_row) {
+  assert(bias_row.rows() == 1 && bias_row.cols() == x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    float* xi = x.row_ptr(i);
+    const float* b = bias_row.row_ptr(0);
+    for (std::size_t j = 0; j < x.cols(); ++j) xi[j] += b[j];
+  }
+}
+
+Matrix col_sums(const Matrix& x) {
+  Matrix out(1, x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* xi = x.row_ptr(i);
+    float* o = out.row_ptr(0);
+    for (std::size_t j = 0; j < x.cols(); ++j) o[j] += xi[j];
+  }
+  return out;
+}
+
+}  // namespace xt::nn

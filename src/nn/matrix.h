@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace xt::nn {
+
+/// Dense row-major float matrix — the only tensor type the DNN substrate
+/// needs (observations, activations, weights are all 2-D here; biases are
+/// 1 x N matrices).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  [[nodiscard]] static Matrix zeros(std::size_t rows, std::size_t cols);
+  /// He-style scaled normal init: N(0, sqrt(2/fan_in)).
+  [[nodiscard]] static Matrix he_normal(std::size_t rows, std::size_t cols, Rng& rng);
+  /// Build a 1 x n row from a float vector (e.g. a single observation).
+  [[nodiscard]] static Matrix from_row(const std::vector<float>& row);
+  /// Build an m x n matrix from m stacked rows (all the same length).
+  [[nodiscard]] static Matrix from_rows(const std::vector<std::vector<float>>& rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  [[nodiscard]] float* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] const float* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+
+  [[nodiscard]] std::vector<float> row(std::size_t r) const;
+
+  void fill(float v);
+  /// this += other (same shape).
+  void add_inplace(const Matrix& other);
+  /// this *= s.
+  void scale_inplace(float s);
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A (m x k) * B (k x n).
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T (k x m -> m x k view) * B; used for weight gradients dW = X^T dY.
+[[nodiscard]] Matrix matmul_at(const Matrix& a, const Matrix& b);
+/// C = A * B^T; used for input gradients dX = dY W^T.
+[[nodiscard]] Matrix matmul_bt(const Matrix& a, const Matrix& b);
+/// Add a 1 x n bias row to every row of X, in place.
+void add_row_inplace(Matrix& x, const Matrix& bias_row);
+/// 1 x n column sums of X (bias gradient).
+[[nodiscard]] Matrix col_sums(const Matrix& x);
+
+}  // namespace xt::nn

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace xt::nn {
+
+/// Optimizer interface over flat parameter/gradient views.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update step; params[i] and grads[i] are paired.
+  virtual void step(const std::vector<Matrix*>& params,
+                    const std::vector<Matrix*>& grads) = 0;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f);
+  void step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) — the optimizer used for all three algorithms.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f);
+  void step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Global-norm gradient clipping; returns the pre-clip norm.
+float clip_gradients(const std::vector<Matrix*>& grads, float max_norm);
+
+}  // namespace xt::nn

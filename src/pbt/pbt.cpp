@@ -1,0 +1,120 @@
+#include "pbt/pbt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "framework/runtime.h"
+
+namespace xt {
+namespace {
+
+void set_lr(AlgoSetup& setup, float lr) {
+  setup.dqn.lr = lr;
+  setup.ppo.lr = lr;
+  setup.impala.lr = lr;
+}
+
+struct PopulationOutcome {
+  double avg_return = 0.0;
+  std::uint64_t steps = 0;
+  Bytes weights;
+};
+
+/// One population's evolution interval: an isolated broker set (a fresh
+/// XingTianRuntime) training for `seconds`, returning metrics + weights.
+PopulationOutcome run_population(AlgoSetup setup, DeploymentConfig deployment,
+                                 double seconds) {
+  deployment.max_steps_consumed = 0;
+  deployment.max_seconds = seconds;
+  deployment.target_return = 0.0;
+  XingTianRuntime runtime(std::move(setup), std::move(deployment));
+  const RunReport report = runtime.run();
+  PopulationOutcome outcome;
+  outcome.avg_return = report.avg_episode_return;
+  outcome.steps = report.steps_consumed;
+  outcome.weights = runtime.learner().snapshot_weights();
+  return outcome;
+}
+
+}  // namespace
+
+PbtReport run_pbt(const AlgoSetup& base, const PbtConfig& config) {
+  assert(static_cast<int>(config.initial_lrs.size()) >= config.populations);
+
+  struct Member {
+    float lr;
+    Bytes weights;  ///< carried across generations
+    double avg_return = 0.0;
+    std::uint64_t steps = 0;
+  };
+  std::vector<Member> members(config.populations);
+  for (int p = 0; p < config.populations; ++p) {
+    members[p].lr = config.initial_lrs[p];
+  }
+
+  Rng rng(config.seed);
+  PbtReport report;
+
+  for (int gen = 0; gen < config.generations; ++gen) {
+    // Run every population for one evolution interval, concurrently —
+    // each in its own isolated broker set.
+    std::vector<PopulationOutcome> outcomes(config.populations);
+    std::vector<std::thread> runners;
+    runners.reserve(config.populations);
+    for (int p = 0; p < config.populations; ++p) {
+      runners.emplace_back([&, p] {
+        AlgoSetup setup = base;
+        setup.seed = base.seed + static_cast<std::uint64_t>(gen) * 131 + p;
+        set_lr(setup, members[p].lr);
+        setup.initial_weights = members[p].weights;
+        outcomes[p] = run_population(std::move(setup), config.deployment,
+                                     config.generation_seconds);
+      });
+    }
+    for (auto& runner : runners) runner.join();
+
+    for (int p = 0; p < config.populations; ++p) {
+      members[p].avg_return = outcomes[p].avg_return;
+      members[p].steps = outcomes[p].steps;
+      members[p].weights = std::move(outcomes[p].weights);
+    }
+
+    // Center scheduler: eliminate the worst, clone the best with a mutated
+    // hyperparameter combination.
+    int best = 0, worst = 0;
+    for (int p = 1; p < config.populations; ++p) {
+      if (members[p].avg_return > members[best].avg_return) best = p;
+      if (members[p].avg_return < members[worst].avg_return) worst = p;
+    }
+
+    std::vector<PbtMember> snapshot(config.populations);
+    for (int p = 0; p < config.populations; ++p) {
+      snapshot[p] = PbtMember{p, members[p].lr, members[p].avg_return,
+                              members[p].steps, p == worst && best != worst};
+    }
+    report.generations.push_back(std::move(snapshot));
+
+    if (best != worst && gen + 1 < config.generations) {
+      const float factor = config.mutation_factors[rng.uniform_index(
+          config.mutation_factors.size())];
+      members[worst].lr = members[best].lr * factor;
+      members[worst].weights = members[best].weights;
+      XT_LOG_INFO << "PBT gen " << gen << ": replaced rank " << worst
+                  << " with mutation of rank " << best
+                  << " (lr=" << members[worst].lr << ")";
+    }
+  }
+
+  int best = 0;
+  for (int p = 1; p < config.populations; ++p) {
+    if (members[p].avg_return > members[best].avg_return) best = p;
+  }
+  report.best_lr = members[best].lr;
+  report.best_return = members[best].avg_return;
+  return report;
+}
+
+}  // namespace xt

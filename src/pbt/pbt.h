@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/factory.h"
+#include "framework/deployment.h"
+
+namespace xt {
+
+/// Population-Based Training on top of XingTian (paper Section 4.3).
+///
+/// Each population is an isolated broker set — its own brokers, learner and
+/// explorers, with no communication across populations (the rank-separated
+/// fabrics of paper Fig. 3). The center scheduler evaluates every
+/// population's average episode return per evolution interval, eliminates
+/// the worst, mutates a new hyperparameter combination, and starts the
+/// replacement population seeded with the best population's DNN weights so
+/// it can catch up immediately.
+struct PbtConfig {
+  int populations = 4;
+  int generations = 3;
+  /// Evolution interval: how long each population trains per generation.
+  double generation_seconds = 2.0;
+  /// Per-population deployment (explorer count etc.).
+  DeploymentConfig deployment;
+  /// Initial learning rates, one per population (size must equal
+  /// `populations`). The mutated value multiplies by one of these factors.
+  std::vector<float> initial_lrs = {3e-4f, 1e-3f, 3e-3f, 1e-2f};
+  std::vector<float> mutation_factors = {0.8f, 1.25f};
+  std::uint64_t seed = 7;
+};
+
+struct PbtMember {
+  int rank = 0;
+  float lr = 0.0f;
+  double avg_return = 0.0;
+  std::uint64_t steps_consumed = 0;
+  bool replaced = false;  ///< eliminated at the end of this generation
+};
+
+struct PbtReport {
+  /// Snapshot of all members at the end of each generation.
+  std::vector<std::vector<PbtMember>> generations;
+  float best_lr = 0.0f;
+  double best_return = 0.0;
+};
+
+/// Run PBT; `base` provides the algorithm kind / environment / base
+/// hyperparameters, with the learning rate swept per population.
+[[nodiscard]] PbtReport run_pbt(const AlgoSetup& base, const PbtConfig& config);
+
+}  // namespace xt

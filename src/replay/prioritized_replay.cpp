@@ -1,0 +1,101 @@
+#include "replay/prioritized_replay.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace xt {
+
+PrioritizedReplay::PrioritizedReplay(std::size_t capacity, std::uint64_t seed,
+                                     double alpha, double beta)
+    : capacity_(capacity), alpha_(alpha), beta_(beta), rng_(seed) {
+  assert(capacity > 0);
+  while (tree_leaves_ < capacity_) tree_leaves_ *= 2;
+  tree_.assign(2 * tree_leaves_, 0.0);
+  storage_.reserve(capacity);
+}
+
+void PrioritizedReplay::set_priority_locked(std::size_t slot, double priority) {
+  std::size_t node = tree_leaves_ + slot;
+  tree_[node] = priority;
+  while (node > 1) {
+    node /= 2;
+    tree_[node] = tree_[2 * node] + tree_[2 * node + 1];
+  }
+}
+
+std::size_t PrioritizedReplay::find_prefix_locked(double mass) const {
+  std::size_t node = 1;
+  while (node < tree_leaves_) {
+    const std::size_t left = 2 * node;
+    if (mass <= tree_[left] || tree_[left + 1] <= 0.0) {
+      node = left;
+    } else {
+      mass -= tree_[left];
+      node = left + 1;
+    }
+  }
+  return node - tree_leaves_;
+}
+
+void PrioritizedReplay::add(Transition transition) {
+  std::scoped_lock lock(mu_);
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(transition));
+  } else {
+    storage_[write_pos_] = std::move(transition);
+  }
+  set_priority_locked(write_pos_, std::pow(max_priority_, alpha_));
+  write_pos_ = (write_pos_ + 1) % capacity_;
+}
+
+PrioritizedReplay::Sample PrioritizedReplay::sample(std::size_t batch) {
+  std::scoped_lock lock(mu_);
+  Sample out;
+  if (storage_.empty() || tree_[1] <= 0.0) return out;
+  out.transitions.reserve(batch);
+  out.indices.reserve(batch);
+  out.weights.reserve(batch);
+
+  const double total = tree_[1];
+  double max_weight = 0.0;
+  std::vector<double> probs;
+  probs.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const double mass = rng_.uniform() * total;
+    std::size_t slot = find_prefix_locked(mass);
+    if (slot >= storage_.size()) slot = storage_.size() - 1;
+    const double p = tree_[tree_leaves_ + slot] / total;
+    probs.push_back(p);
+    out.indices.push_back(slot);
+    out.transitions.push_back(storage_[slot]);
+  }
+  for (double p : probs) {
+    const double w = std::pow(static_cast<double>(storage_.size()) * p, -beta_);
+    max_weight = std::max(max_weight, w);
+    out.weights.push_back(static_cast<float>(w));
+  }
+  if (max_weight > 0.0) {
+    for (auto& w : out.weights) w = static_cast<float>(w / max_weight);
+  }
+  return out;
+}
+
+void PrioritizedReplay::update_priorities(const std::vector<std::size_t>& indices,
+                                          const std::vector<float>& priorities) {
+  assert(indices.size() == priorities.size());
+  std::scoped_lock lock(mu_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const double p = std::max(1e-6, static_cast<double>(priorities[i]));
+    max_priority_ = std::max(max_priority_, p);
+    if (indices[i] < storage_.size()) {
+      set_priority_locked(indices[i], std::pow(p, alpha_));
+    }
+  }
+}
+
+std::size_t PrioritizedReplay::size() const {
+  std::scoped_lock lock(mu_);
+  return storage_.size();
+}
+
+}  // namespace xt

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "replay/replay_buffer.h"
+
+namespace xt {
+
+/// Proportional prioritized experience replay (Schaul et al. 2016) over a
+/// sum-tree, one of the "several kinds of replay buffers" XingTian ships
+/// for researchers (paper Section 4.2).
+class PrioritizedReplay {
+ public:
+  /// alpha: priority exponent; beta: importance-sampling exponent.
+  PrioritizedReplay(std::size_t capacity, std::uint64_t seed,
+                    double alpha = 0.6, double beta = 0.4);
+
+  /// Insert with max-seen priority so fresh samples are trained on soon.
+  void add(Transition transition);
+
+  struct Sample {
+    std::vector<Transition> transitions;
+    std::vector<std::size_t> indices;  ///< pass back to update_priorities
+    std::vector<float> weights;        ///< importance-sampling weights
+  };
+
+  [[nodiscard]] Sample sample(std::size_t batch);
+
+  /// Update priorities (e.g. with |TD error| + eps) after a training step.
+  void update_priorities(const std::vector<std::size_t>& indices,
+                         const std::vector<float>& priorities);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  void set_priority_locked(std::size_t slot, double priority);
+  [[nodiscard]] std::size_t find_prefix_locked(double mass) const;
+
+  mutable std::mutex mu_;
+  const std::size_t capacity_;
+  const double alpha_;
+  const double beta_;
+  std::vector<Transition> storage_;
+  std::vector<double> tree_;  ///< binary sum-tree over capacity_ leaves
+  std::size_t tree_leaves_ = 1;
+  std::size_t write_pos_ = 0;
+  double max_priority_ = 1.0;
+  Rng rng_;
+};
+
+}  // namespace xt

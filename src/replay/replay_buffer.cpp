@@ -1,0 +1,45 @@
+#include "replay/replay_buffer.h"
+
+#include <cassert>
+
+namespace xt {
+
+UniformReplay::UniformReplay(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  assert(capacity > 0);
+  storage_.reserve(capacity);
+}
+
+void UniformReplay::add(Transition transition) {
+  std::scoped_lock lock(mu_);
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(transition));
+  } else {
+    storage_[write_pos_] = std::move(transition);
+  }
+  write_pos_ = (write_pos_ + 1) % capacity_;
+  ++total_added_;
+}
+
+std::vector<Transition> UniformReplay::sample(std::size_t batch) {
+  std::scoped_lock lock(mu_);
+  std::vector<Transition> out;
+  if (storage_.empty()) return out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    out.push_back(storage_[rng_.uniform_index(storage_.size())]);
+  }
+  return out;
+}
+
+std::size_t UniformReplay::size() const {
+  std::scoped_lock lock(mu_);
+  return storage_.size();
+}
+
+std::uint64_t UniformReplay::total_added() const {
+  std::scoped_lock lock(mu_);
+  return total_added_;
+}
+
+}  // namespace xt

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace xt {
+
+/// One stored transition for experience replay. `frame` mirrors
+/// RolloutStep::frame — the opaque emulator-frame stand-in that gives DQN
+/// replay batches their paper-scale wire size (see DESIGN.md).
+struct Transition {
+  std::vector<float> observation;
+  std::int32_t action = 0;
+  float reward = 0.0f;
+  std::vector<float> next_observation;
+  bool done = false;
+  Bytes frame;
+};
+
+/// Uniform experience replay (paper Section 2.1 / Fig. 1(b)). In XingTian
+/// this buffer lives *inside the trainer thread* of the learner process so
+/// that sampling is a local operation (Section 3.2.1) — the design decision
+/// behind the Fig. 9 latency gap. The baseline frameworks host the same
+/// buffer behind RPC in a separate logical process.
+class UniformReplay {
+ public:
+  UniformReplay(std::size_t capacity, std::uint64_t seed);
+
+  void add(Transition transition);
+
+  /// Sample `batch` transitions uniformly (with replacement). Returns an
+  /// empty vector if the buffer is empty.
+  [[nodiscard]] std::vector<Transition> sample(std::size_t batch);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Total transitions ever inserted (monotonic, survives eviction).
+  [[nodiscard]] std::uint64_t total_added() const;
+
+ private:
+  mutable std::mutex mu_;
+  const std::size_t capacity_;
+  std::vector<Transition> storage_;
+  std::size_t write_pos_ = 0;
+  std::uint64_t total_added_ = 0;
+  Rng rng_;
+};
+
+}  // namespace xt

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace xt {
+
+/// A small string->double record. This is how explorer/learner statistics
+/// reach the center controller (paper Section 3.2.2): workhorse threads
+/// periodically put stats messages into their send buffers, and the router
+/// forwards them to the center controller for aggregation and goal checks.
+struct StatsRecord {
+  std::string source;                   ///< node name, e.g. "explorer-3"
+  std::map<std::string, double> values; ///< e.g. {"episode_return": 21.0}
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<StatsRecord> deserialize(const Bytes& data);
+
+  bool operator==(const StatsRecord&) const = default;
+};
+
+}  // namespace xt

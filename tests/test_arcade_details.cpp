@@ -1,0 +1,219 @@
+// Deeper per-game mechanics of the SynthArcade suite (the Atari stand-ins):
+// these lock down the game rules the convergence experiments rely on.
+
+#include "envs/synth_arcade.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace xt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SynthBreakout
+// ---------------------------------------------------------------------------
+
+TEST(BreakoutDetails, ObservationEncodesPaddleAndBall) {
+  SynthBreakout env;
+  const auto obs = env.reset(1);
+  // Exactly one paddle bin and one ball-x / ball-y bin set.
+  int paddle_bins = 0, ball_x_bins = 0, ball_y_bins = 0;
+  for (int i = 0; i < 16; ++i) {
+    paddle_bins += obs[i] > 0.5f;
+    ball_x_bins += obs[16 + i] > 0.5f;
+    ball_y_bins += obs[32 + i] > 0.5f;
+  }
+  EXPECT_EQ(paddle_bins, 1);
+  EXPECT_EQ(ball_x_bins, 1);
+  EXPECT_EQ(ball_y_bins, 1);
+}
+
+TEST(BreakoutDetails, AllBricksStartAlive) {
+  SynthBreakout env;
+  const auto obs = env.reset(2);
+  int alive = 0;
+  for (int i = 0; i < SynthBreakout::kBrickRows * SynthBreakout::kBrickCols; ++i) {
+    alive += obs[51 + i] > 0.5f;
+  }
+  EXPECT_EQ(alive, SynthBreakout::kBrickRows * SynthBreakout::kBrickCols);
+}
+
+TEST(BreakoutDetails, LivesDecreaseWhenBallIsMissed) {
+  SynthBreakout env;
+  auto obs = env.reset(3);
+  // Push the paddle hard left and wait: lives (obs[50]) must eventually drop.
+  const float initial_lives = obs[50];
+  for (int i = 0; i < 400; ++i) {
+    const auto r = env.step(0);
+    obs = r.observation;
+    if (obs[50] < initial_lives || r.done) break;
+  }
+  EXPECT_LT(obs[50], initial_lives);
+}
+
+TEST(BreakoutDetails, BrickHitsAwardRowScaledReward) {
+  // Play with the tracking heuristic until a brick is hit; the reward for a
+  // single step must be one of the row values 1..kBrickRows (or include the
+  // 30-point clear bonus, which cannot happen on the first hit).
+  SynthBreakout env;
+  auto obs = env.reset(4);
+  for (int i = 0; i < 2'000; ++i) {
+    int paddle = 0, ball = 0;
+    for (int c = 0; c < 16; ++c) {
+      if (obs[c] > 0.5f) paddle = c;
+      if (obs[16 + c] > 0.5f) ball = c;
+    }
+    const auto r = env.step(ball < paddle ? 0 : (ball > paddle ? 2 : 1));
+    if (r.reward > 0.0f) {
+      EXPECT_GE(r.reward, 1.0f);
+      EXPECT_LE(r.reward, static_cast<float>(SynthBreakout::kBrickRows));
+      return;
+    }
+    if (r.done) break;
+    obs = r.observation;
+  }
+  FAIL() << "tracking play never hit a brick";
+}
+
+// ---------------------------------------------------------------------------
+// SynthSpaceInvaders
+// ---------------------------------------------------------------------------
+
+TEST(SpaceInvadersDetails, FullAlienGridAtReset) {
+  SynthSpaceInvaders env;
+  const auto obs = env.reset(1);
+  int aliens = 0;
+  for (int i = 0; i < SynthSpaceInvaders::kAlienRows * SynthSpaceInvaders::kAlienCols;
+       ++i) {
+    aliens += obs[16 + i] > 0.5f;
+  }
+  EXPECT_EQ(aliens, SynthSpaceInvaders::kAlienRows * SynthSpaceInvaders::kAlienCols);
+}
+
+TEST(SpaceInvadersDetails, ShipMovesWithinBounds) {
+  SynthSpaceInvaders env;
+  (void)env.reset(2);
+  // Hold left for many steps; the ship one-hot must stay at column 0.
+  StepResult r;
+  for (int i = 0; i < 30; ++i) r = env.step(1);
+  EXPECT_GT(r.observation[0], 0.5f);
+  // Hold right; it must reach the last column.
+  for (int i = 0; i < 40; ++i) r = env.step(2);
+  EXPECT_GT(r.observation[SynthSpaceInvaders::kWidth - 1], 0.5f);
+}
+
+TEST(SpaceInvadersDetails, ShootingUnderTheGridScores) {
+  SynthSpaceInvaders env;
+  (void)env.reset(3);
+  // Fire repeatedly while tracking under the grid; some shot must land.
+  double total = 0.0;
+  Rng rng(5);
+  for (int i = 0; i < 600; ++i) {
+    const auto r = env.step(i % 2 == 0 ? 3 : (rng.bernoulli(0.5) ? 1 : 2));
+    total += r.reward;
+    if (r.done) break;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(SpaceInvadersDetails, GridDescendsOverTime) {
+  SynthSpaceInvaders env;
+  auto first = env.reset(4);
+  StepResult r;
+  for (int i = 0; i < 600; ++i) {
+    r = env.step(0);
+    if (r.done) break;
+  }
+  // obs[49] encodes grid_y / 12; it must have grown from its initial 0.
+  EXPECT_GT(r.observation[49], first[49]);
+}
+
+// ---------------------------------------------------------------------------
+// SynthQbert
+// ---------------------------------------------------------------------------
+
+TEST(QbertDetails, ApexStartsPainted) {
+  SynthQbert env;
+  const auto obs = env.reset(1);
+  EXPECT_GT(obs[0], 0.5f);  // painted bitmap, cube 0 = apex
+  // Agent one-hot sits at the apex too.
+  EXPECT_GT(obs[SynthQbert::kCubes + 0], 0.5f);
+}
+
+TEST(QbertDetails, HoppingOffThePyramidCostsALife) {
+  SynthQbert env;
+  auto obs = env.reset(2);
+  const float initial_lives = obs[3 * SynthQbert::kCubes];
+  const auto r = env.step(0);  // up-left from the apex: off the pyramid
+  EXPECT_LT(r.observation[3 * SynthQbert::kCubes], initial_lives);
+}
+
+TEST(QbertDetails, FreshCubePaysTwentyFive) {
+  SynthQbert env;
+  (void)env.reset(3);
+  const auto r = env.step(2);  // down-left to an unpainted cube
+  EXPECT_GE(r.reward, 25.0f);
+}
+
+TEST(QbertDetails, RepaintingPaysNothing) {
+  SynthQbert env;
+  (void)env.reset(4);
+  (void)env.step(2);                  // paint (1,0)
+  const auto r = env.step(1);         // hop back up to the painted apex
+  EXPECT_FLOAT_EQ(r.reward, 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// SynthBeamRider
+// ---------------------------------------------------------------------------
+
+TEST(BeamRiderDetails, FireHasCooldown) {
+  SynthBeamRider env;
+  (void)env.reset(1);
+  // The cooldown channel must be set right after firing.
+  const auto r = env.step(1);
+  EXPECT_GT(r.observation[8 + SynthBeamRider::kLanes * SynthBeamRider::kDepth],
+            0.0f);
+}
+
+TEST(BeamRiderDetails, LaneChangesAreClamped) {
+  SynthBeamRider env;
+  (void)env.reset(2);
+  StepResult r;
+  for (int i = 0; i < 10; ++i) r = env.step(0);  // far left
+  EXPECT_GT(r.observation[0], 0.5f);
+  for (int i = 0; i < 10; ++i) r = env.step(2);  // far right
+  EXPECT_GT(r.observation[SynthBeamRider::kLanes - 1], 0.5f);
+}
+
+TEST(BeamRiderDetails, EnemiesDescendTowardTheShip) {
+  SynthBeamRider env;
+  (void)env.reset(3);
+  // Step without firing until an enemy appears, then verify its depth index
+  // decreases over time (descending toward depth 0).
+  int seen_depth = -1;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = env.step(i % 3 == 0 ? 0 : 2);  // wander, never fire
+    for (int lane = 0; lane < SynthBeamRider::kLanes; ++lane) {
+      for (int d = 0; d < SynthBeamRider::kDepth; ++d) {
+        if (r.observation[8 + lane * SynthBeamRider::kDepth + d] > 0.5f) {
+          if (seen_depth >= 0 && d < seen_depth) {
+            SUCCEED();
+            return;
+          }
+          seen_depth = d;
+        }
+      }
+    }
+    if (r.done) break;
+  }
+  // Stochastic spawns: not observing a descent in 200 steps is acceptable
+  // only if no enemy ever appeared.
+  EXPECT_EQ(seen_depth, -1) << "enemy appeared but never descended";
+}
+
+}  // namespace
+}  // namespace xt

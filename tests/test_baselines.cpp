@@ -1,0 +1,167 @@
+#include "baselines/buffer_hub.h"
+#include "baselines/pull_driver.h"
+#include "baselines/pull_dummy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace xt::baselines {
+namespace {
+
+TEST(RpcTransport, LocalPullReturnsCopy) {
+  RpcTransport transport(1, RpcConfig{0, {}});
+  const Bytes data(100, 7);
+  const Bytes pulled = transport.pull(0, data);
+  EXPECT_EQ(pulled, data);
+}
+
+TEST(RpcTransport, DispatchOverheadApplies) {
+  RpcConfig config;
+  config.dispatch_ns = 5'000'000;  // 5 ms
+  RpcTransport transport(1, config);
+  const Stopwatch clock;
+  (void)transport.pull(0, Bytes(10, 1));
+  EXPECT_GE(clock.elapsed_ms(), 4.5);
+}
+
+TEST(RpcTransport, RemotePullPaysBandwidth) {
+  RpcConfig config;
+  config.dispatch_ns = 0;
+  config.link.bandwidth_bytes_per_sec = 100e6;
+  config.link.latency_ns = 0;
+  config.link.frame_overhead_bytes = 0;
+  RpcTransport transport(2, config);
+  const Stopwatch clock;
+  (void)transport.pull(1, Bytes(5'000'000, 1));  // 5 MB at 100 MB/s ~ 50 ms
+  EXPECT_GE(clock.elapsed_ms(), 45.0);
+  EXPECT_GE(transport.cross_machine_bytes(), 5'000'000u);
+}
+
+TEST(ChunkedTransfer, DelayScalesWithSize) {
+  ChunkedTransferConfig config;
+  config.chunk_bytes = 1024;
+  config.bandwidth_bytes_per_sec = 1e9;
+  config.per_chunk_rtt_ns = 1'000'000;  // 1 ms per chunk
+  const Stopwatch clock;
+  chunked_transfer_delay(10 * 1024, config);  // 10 chunks -> >= 10 ms
+  EXPECT_GE(clock.elapsed_ms(), 9.5);
+}
+
+TEST(BufferServer, InsertThenTakeFifo) {
+  ChunkedTransferConfig fast;
+  fast.per_chunk_rtt_ns = 0;
+  fast.bandwidth_bytes_per_sec = 1e12;
+  BufferServer server(fast);
+  server.insert(Bytes{1});
+  server.insert(Bytes{2});
+  EXPECT_EQ(server.size(), 2u);
+  EXPECT_EQ(server.take().value(), Bytes{1});
+  EXPECT_EQ(server.take().value(), Bytes{2});
+  EXPECT_FALSE(server.take().has_value());
+}
+
+TEST(PullhubDummy, DeliversAllMessages) {
+  DummyConfig config;
+  config.explorers_per_machine = {2};
+  config.message_bytes = 32 * 1024;
+  config.messages_per_explorer = 5;
+  RpcConfig rpc;
+  rpc.dispatch_ns = 0;
+  const DummyResult result = run_dummy_transmission_pullhub(config, rpc);
+  EXPECT_EQ(result.messages_received, 10u);
+  EXPECT_EQ(result.bytes_received, 10u * 32 * 1024);
+}
+
+TEST(BufferhubDummy, DeliversAllMessages) {
+  DummyConfig config;
+  config.explorers_per_machine = {2};
+  config.message_bytes = 16 * 1024;
+  config.messages_per_explorer = 3;
+  ChunkedTransferConfig transfer;
+  transfer.per_chunk_rtt_ns = 100'000;
+  const DummyResult result = run_dummy_transmission_bufferhub(config, transfer);
+  EXPECT_EQ(result.messages_received, 6u);
+  EXPECT_EQ(result.bytes_received, 6u * 16 * 1024);
+}
+
+TEST(PullDriver, ImpalaRunConsumesSteps) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.env_name = "CartPole";
+  setup.impala.hidden = {16};
+  setup.impala.fragment_len = 50;
+
+  PullDeployment deployment;
+  deployment.explorers_per_machine = {2};
+  deployment.rpc.dispatch_ns = 10'000;
+  deployment.max_steps_consumed = 1'000;
+  deployment.max_seconds = 30.0;
+
+  const RunReport report = run_pullhub(setup, deployment);
+  EXPECT_GE(report.steps_consumed, 1'000u);
+  EXPECT_GT(report.training_sessions, 0);
+  EXPECT_GT(report.mean_transmission_ms, 0.0);
+  EXPECT_GT(report.weight_broadcasts, 0u);
+}
+
+TEST(PullDriver, PpoRunWorks) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kPpo;
+  setup.env_name = "CartPole";
+  setup.ppo.hidden = {16};
+  setup.ppo.fragment_len = 50;
+  setup.ppo.n_explorers = 2;
+  setup.ppo.epochs = 1;
+
+  PullDeployment deployment;
+  deployment.explorers_per_machine = {2};
+  deployment.rpc.dispatch_ns = 10'000;
+  deployment.max_steps_consumed = 400;
+  deployment.max_seconds = 30.0;
+
+  const RunReport report = run_pullhub(setup, deployment);
+  EXPECT_GE(report.steps_consumed, 400u);
+  EXPECT_GE(report.training_sessions, 2);
+}
+
+TEST(PullDriver, DqnRunWithRemoteReplayActor) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kDqn;
+  setup.env_name = "CartPole";
+  setup.dqn.hidden = {16};
+  setup.dqn.replay_capacity = 5'000;
+  setup.dqn.train_start = 100;
+  setup.dqn.eps_decay_steps = 500;
+
+  PullDeployment deployment;
+  deployment.explorers_per_machine = {1};
+  deployment.rpc.dispatch_ns = 10'000;
+  deployment.max_steps_consumed = 500;
+  deployment.max_seconds = 30.0;
+
+  const RunReport report = run_pullhub(setup, deployment);
+  EXPECT_GE(report.steps_consumed, 500u);
+  EXPECT_GT(report.training_sessions, 0);
+}
+
+TEST(PullDriver, MultiMachineImpalaRuns) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.env_name = "CartPole";
+  setup.impala.hidden = {16};
+  setup.impala.fragment_len = 50;
+
+  PullDeployment deployment;
+  deployment.explorers_per_machine = {1, 1};
+  deployment.rpc.dispatch_ns = 10'000;
+  deployment.rpc.link.bandwidth_bytes_per_sec = 500e6;
+  deployment.max_steps_consumed = 500;
+  deployment.max_seconds = 30.0;
+
+  const RunReport report = run_pullhub(setup, deployment);
+  EXPECT_GE(report.steps_consumed, 500u);
+}
+
+}  // namespace
+}  // namespace xt::baselines

@@ -1,0 +1,93 @@
+#include "framework/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "algo/factory.h"
+
+namespace xt {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "xt_checkpoint_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".ckpt";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, SaveThenLoadRoundTrips) {
+  Checkpointer checkpointer(path_, 1);
+  const Bytes weights = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(checkpointer.save(weights, 7, 12345));
+  const auto snapshot = Checkpointer::load(path_);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->weights, weights);
+  EXPECT_EQ(snapshot->weights_version, 7u);
+  EXPECT_EQ(snapshot->steps_consumed, 12345u);
+}
+
+TEST_F(CheckpointTest, MaybeSaveRespectsInterval) {
+  Checkpointer checkpointer(path_, 10);
+  const Bytes weights = {9};
+  EXPECT_TRUE(checkpointer.maybe_save(weights, 10, 1));   // first save
+  EXPECT_FALSE(checkpointer.maybe_save(weights, 15, 2));  // too soon
+  EXPECT_TRUE(checkpointer.maybe_save(weights, 20, 3));
+  EXPECT_EQ(checkpointer.saves(), 2u);
+}
+
+TEST_F(CheckpointTest, LoadMissingFileFails) {
+  EXPECT_FALSE(Checkpointer::load(path_).has_value());
+}
+
+TEST_F(CheckpointTest, LoadRejectsCorruptFile) {
+  {
+    std::FILE* file = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const char garbage[] = "not a checkpoint";
+    std::fwrite(garbage, 1, sizeof(garbage), file);
+    std::fclose(file);
+  }
+  EXPECT_FALSE(Checkpointer::load(path_).has_value());
+}
+
+TEST_F(CheckpointTest, NewerSaveOverwritesOlder) {
+  Checkpointer checkpointer(path_, 1);
+  ASSERT_TRUE(checkpointer.save({1}, 1, 10));
+  ASSERT_TRUE(checkpointer.save({2, 2}, 5, 50));
+  const auto snapshot = Checkpointer::load(path_);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->weights, (Bytes{2, 2}));
+  EXPECT_EQ(snapshot->weights_version, 5u);
+}
+
+TEST_F(CheckpointTest, RestoresRealAlgorithmWeights) {
+  // End-to-end fault-tolerance path: snapshot a trained learner's weights,
+  // "crash", restore into a fresh algorithm via AlgoSetup::initial_weights.
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.impala.hidden = {8};
+  auto original = make_algorithm(setup, 4, 2);
+
+  Checkpointer checkpointer(path_, 1);
+  ASSERT_TRUE(checkpointer.save(original->weights(),
+                                original->weights_version(), 999));
+
+  const auto snapshot = Checkpointer::load(path_);
+  ASSERT_TRUE(snapshot.has_value());
+  AlgoSetup restored_setup = setup;
+  restored_setup.seed = 4242;  // different init would diverge without restore
+  restored_setup.initial_weights = snapshot->weights;
+  auto restored = make_algorithm(restored_setup, 4, 2);
+  EXPECT_EQ(restored->weights(), original->weights());
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,48 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace xt {
+namespace {
+
+TEST(Clock, Monotonic) {
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Clock, StopwatchMeasuresElapsed) {
+  Stopwatch w;
+  precise_sleep_ns(5'000'000);  // 5 ms
+  const double ms = w.elapsed_ms();
+  EXPECT_GE(ms, 4.5);
+  EXPECT_LT(ms, 100.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(Clock, PreciseSleepShortDurations) {
+  Stopwatch w;
+  precise_sleep_ns(100'000);  // 0.1 ms -> spin path
+  EXPECT_GE(w.elapsed_ns(), 100'000);
+}
+
+TEST(Clock, PreciseSleepZeroAndNegativeReturnImmediately) {
+  Stopwatch w;
+  precise_sleep_ns(0);
+  precise_sleep_ns(-100);
+  EXPECT_LT(w.elapsed_ms(), 5.0);
+}
+
+TEST(Clock, Conversions) {
+  EXPECT_DOUBLE_EQ(ns_to_ms(1'500'000), 1.5);
+  EXPECT_DOUBLE_EQ(ns_to_s(2'000'000'000), 2.0);
+}
+
+TEST(Clock, StopwatchReset) {
+  Stopwatch w;
+  precise_sleep_ns(2'000'000);
+  w.reset();
+  EXPECT_LT(w.elapsed_ms(), 1.0);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,148 @@
+#include "framework/config_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace xt {
+namespace {
+
+TEST(ConfigFile, ParsesFullConfig) {
+  const std::string text = R"(
+# a full XingTian launch configuration
+[algorithm]
+kind = impala
+env = SynthBreakout
+seed = 42
+lr = 0.001
+gamma = 0.98
+hidden = 128,64
+fragment_len = 500
+entropy_coef = 0.02
+
+[deployment]
+explorers_per_machine = 16,16
+learner_machine = 1
+max_steps = 1000000
+max_seconds = 3600
+target_return = 500
+target_return_window = 50
+nic_bandwidth_mbps = 118.04
+ipc_bandwidth_mbps = 65
+compression = on
+compression_threshold_kb = 512
+explorer_send_capacity = 4
+stats_csv = /tmp/run.csv
+)";
+  std::string error;
+  const auto config = parse_launch_config(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->setup.kind, AlgoKind::kImpala);
+  EXPECT_EQ(config->setup.env_name, "SynthBreakout");
+  EXPECT_EQ(config->setup.seed, 42u);
+  EXPECT_FLOAT_EQ(config->setup.impala.lr, 0.001f);
+  EXPECT_FLOAT_EQ(config->setup.impala.gamma, 0.98f);
+  EXPECT_EQ(config->setup.impala.hidden, (std::vector<std::size_t>{128, 64}));
+  EXPECT_EQ(config->setup.impala.fragment_len, 500u);
+  EXPECT_FLOAT_EQ(config->setup.impala.entropy_coef, 0.02f);
+
+  EXPECT_EQ(config->deployment.explorers_per_machine, (std::vector<int>{16, 16}));
+  EXPECT_EQ(config->deployment.learner_machine, 1);
+  EXPECT_EQ(config->deployment.max_steps_consumed, 1'000'000u);
+  EXPECT_DOUBLE_EQ(config->deployment.max_seconds, 3600.0);
+  EXPECT_DOUBLE_EQ(config->deployment.target_return, 500.0);
+  EXPECT_EQ(config->deployment.target_return_window, 50);
+  EXPECT_DOUBLE_EQ(config->deployment.link.bandwidth_bytes_per_sec, 118.04e6);
+  EXPECT_DOUBLE_EQ(config->deployment.broker.ipc_bandwidth_bytes_per_sec, 65e6);
+  EXPECT_TRUE(config->deployment.broker.compression.enabled);
+  EXPECT_EQ(config->deployment.broker.compression.threshold_bytes, 512u * 1024);
+  EXPECT_EQ(config->deployment.explorer_send_capacity, 4u);
+  EXPECT_EQ(config->deployment.stats_csv_path, "/tmp/run.csv");
+  // PPO explorer count derived from the deployment.
+  EXPECT_EQ(config->setup.ppo.n_explorers, 32u);
+}
+
+TEST(ConfigFile, AllAlgorithmKinds) {
+  for (const auto& [name, kind] :
+       std::vector<std::pair<std::string, AlgoKind>>{{"dqn", AlgoKind::kDqn},
+                                                     {"ppo", AlgoKind::kPpo},
+                                                     {"impala", AlgoKind::kImpala},
+                                                     {"a2c", AlgoKind::kA2c}}) {
+    const auto config =
+        parse_launch_config("[algorithm]\nkind = " + name + "\n");
+    ASSERT_TRUE(config.has_value()) << name;
+    EXPECT_EQ(config->setup.kind, kind) << name;
+  }
+}
+
+TEST(ConfigFile, DefaultsSurviveEmptyConfig) {
+  const auto config = parse_launch_config("");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->setup.kind, AlgoKind::kImpala);
+  EXPECT_EQ(config->deployment.explorers_per_machine, (std::vector<int>{4}));
+}
+
+TEST(ConfigFile, RejectsUnknownKey) {
+  std::string error;
+  EXPECT_FALSE(parse_launch_config("[algorithm]\nlearningrate = 1\n", &error));
+  EXPECT_NE(error.find("unknown [algorithm] key"), std::string::npos);
+}
+
+TEST(ConfigFile, RejectsUnknownSection) {
+  std::string error;
+  EXPECT_FALSE(parse_launch_config("[cluster]\nfoo = 1\n", &error));
+  EXPECT_NE(error.find("unknown section"), std::string::npos);
+}
+
+TEST(ConfigFile, RejectsKeyOutsideSection) {
+  std::string error;
+  EXPECT_FALSE(parse_launch_config("kind = dqn\n", &error));
+  EXPECT_NE(error.find("outside any section"), std::string::npos);
+}
+
+TEST(ConfigFile, RejectsMalformedValues) {
+  EXPECT_FALSE(parse_launch_config("[algorithm]\nseed = banana\n"));
+  EXPECT_FALSE(parse_launch_config("[algorithm]\nkind = sarsa\n"));
+  EXPECT_FALSE(parse_launch_config("[deployment]\ncompression = maybe\n"));
+  EXPECT_FALSE(parse_launch_config("[deployment]\nexplorers_per_machine = \n"));
+  EXPECT_FALSE(parse_launch_config("[algorithm\nkind = dqn\n"));
+  EXPECT_FALSE(parse_launch_config("[algorithm]\nkind dqn\n"));
+}
+
+TEST(ConfigFile, CommentsAndWhitespaceAreIgnored)  {
+  const auto config = parse_launch_config(
+      "  [algorithm]   # trailing comment\n"
+      "   kind =    dqn   \n"
+      "\n"
+      "# full-line comment\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->setup.kind, AlgoKind::kDqn);
+}
+
+TEST(ConfigFile, ErrorMessagesCarryLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(parse_launch_config("[algorithm]\nkind = dqn\nbogus = 1\n", &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(ConfigFile, LoadFromDiskAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "xt_config_test.conf";
+  {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const char* text = "[algorithm]\nkind = ppo\n";
+    std::fwrite(text, 1, std::strlen(text), file);
+    std::fclose(file);
+  }
+  std::string error;
+  const auto config = load_launch_config(path, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->setup.kind, AlgoKind::kPpo);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(load_launch_config(path, &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,202 @@
+#include "algo/dqn.h"
+
+#include <gtest/gtest.h>
+
+#include "envs/cartpole.h"
+
+namespace xt {
+namespace {
+
+DqnConfig small_config() {
+  DqnConfig config;
+  config.hidden = {16};
+  config.replay_capacity = 1'000;
+  config.train_start = 50;
+  config.batch_size = 16;
+  config.train_interval_steps = 4;
+  config.eps_decay_steps = 200;
+  return config;
+}
+
+RolloutBatch batch_of(std::size_t steps, std::size_t obs_dim) {
+  RolloutBatch batch;
+  for (std::size_t i = 0; i < steps; ++i) {
+    RolloutStep step;
+    step.observation.assign(obs_dim, static_cast<float>(i));
+    step.action = static_cast<std::int32_t>(i % 2);
+    step.reward = 1.0f;
+    step.done = (i + 1 == steps);
+    batch.steps.push_back(std::move(step));
+  }
+  return batch;
+}
+
+TEST(DqnAgent, EpsilonDecaysToFloor) {
+  DqnAgent agent(small_config(), 4, 2, 0, 1);
+  EXPECT_NEAR(agent.epsilon(), 1.0f, 1e-6);
+  std::vector<float> obs(4, 0.0f);
+  for (int i = 0; i < 500; ++i) (void)agent.infer_action(obs);
+  EXPECT_NEAR(agent.epsilon(), small_config().eps_end, 1e-6);
+}
+
+TEST(DqnAgent, ActionsAreInRange) {
+  DqnAgent agent(small_config(), 4, 3, 0, 2);
+  std::vector<float> obs(4, 0.5f);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = agent.infer_action(obs);
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(DqnAgent, BatchReadyAfterConfiguredSteps) {
+  DqnAgent agent(small_config(), 4, 2, 5, 3);
+  std::vector<float> obs(4, 0.0f);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(agent.batch_ready());
+    agent.handle_env_feedback(obs, 0, 1.0f, false, obs);
+  }
+  EXPECT_TRUE(agent.batch_ready());
+  const RolloutBatch batch = agent.take_batch();
+  EXPECT_EQ(batch.steps.size(), 4u);
+  EXPECT_EQ(batch.explorer_index, 5u);
+  EXPECT_FALSE(agent.batch_ready());
+}
+
+TEST(DqnAgent, AppliesOnlyNewerWeights) {
+  DqnConfig config = small_config();
+  DqnAgent agent(config, 4, 2, 0, 1);
+  DqnAlgorithm algorithm(config, 4, 2, 99);
+  const Bytes weights = algorithm.weights();
+  EXPECT_TRUE(agent.apply_weights(weights, 3));
+  EXPECT_EQ(agent.weights_version(), 3u);
+  EXPECT_FALSE(agent.apply_weights(weights, 3));  // same version: stale
+  EXPECT_FALSE(agent.apply_weights(weights, 2));  // older: stale
+  EXPECT_TRUE(agent.apply_weights(weights, 4));
+}
+
+TEST(DqnAlgorithm, WarmupConsumesWithoutTraining) {
+  DqnAlgorithm algorithm(small_config(), 4, 2, 1);
+  algorithm.prepare_data(batch_of(10, 4));
+  ASSERT_TRUE(algorithm.ready_to_train());
+  const auto result = algorithm.train();
+  EXPECT_EQ(result.steps_consumed, 10u);
+  EXPECT_EQ(result.stats.count("warmup"), 1u);
+  EXPECT_EQ(algorithm.training_sessions(), 0);
+}
+
+TEST(DqnAlgorithm, TrainsAfterWarmupThreshold) {
+  DqnAlgorithm algorithm(small_config(), 4, 2, 1);
+  for (int i = 0; i < 6; ++i) algorithm.prepare_data(batch_of(10, 4));
+  EXPECT_GE(algorithm.replay_size(), 50u);
+  while (algorithm.ready_to_train()) {
+    const auto result = algorithm.train();
+    if (result.stats.count("warmup") == 0) {
+      EXPECT_EQ(result.steps_consumed, 4u);
+      EXPECT_EQ(result.stats.count("loss"), 1u);
+      break;
+    }
+  }
+  EXPECT_GE(algorithm.training_sessions(), 1);
+}
+
+TEST(DqnAlgorithm, VersionBumpsPerSession) {
+  DqnAlgorithm algorithm(small_config(), 4, 2, 1);
+  const auto v0 = algorithm.weights_version();
+  for (int i = 0; i < 10; ++i) algorithm.prepare_data(batch_of(10, 4));
+  int sessions = 0;
+  while (algorithm.ready_to_train() && sessions < 10) {
+    if (algorithm.train().stats.count("warmup") == 0) ++sessions;
+  }
+  EXPECT_EQ(algorithm.weights_version(), v0 + sessions);
+}
+
+TEST(DqnAlgorithm, NotReadyWithoutPendingInserts) {
+  DqnAlgorithm algorithm(small_config(), 4, 2, 1);
+  EXPECT_FALSE(algorithm.ready_to_train());
+}
+
+TEST(DqnAlgorithm, WeightsRoundTripIntoAgent) {
+  DqnConfig config = small_config();
+  DqnAlgorithm algorithm(config, 4, 2, 5);
+  DqnAgent agent(config, 4, 2, 0, 6);
+  EXPECT_TRUE(agent.apply_weights(algorithm.weights(), 1));
+}
+
+TEST(DqnAlgorithm, LoadPolicyWeightsBumpsVersion) {
+  DqnConfig config = small_config();
+  DqnAlgorithm a(config, 4, 2, 1);
+  DqnAlgorithm b(config, 4, 2, 2);
+  const auto v = b.weights_version();
+  EXPECT_TRUE(b.load_policy_weights(a.weights()));
+  EXPECT_EQ(b.weights_version(), v + 1);
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(DqnAlgorithm, DoubleDqnVariantTrains) {
+  DqnConfig config = small_config();
+  config.double_dqn = true;
+  DqnAlgorithm algorithm(config, 4, 2, 1);
+  for (int i = 0; i < 8; ++i) algorithm.prepare_data(batch_of(10, 4));
+  bool trained = false;
+  while (algorithm.ready_to_train()) {
+    if (algorithm.train().stats.count("warmup") == 0) {
+      trained = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(trained);
+}
+
+TEST(DqnAlgorithm, PrioritizedVariantTrains) {
+  DqnConfig config = small_config();
+  config.prioritized = true;
+  DqnAlgorithm algorithm(config, 4, 2, 1);
+  for (int i = 0; i < 8; ++i) algorithm.prepare_data(batch_of(10, 4));
+  bool trained = false;
+  while (algorithm.ready_to_train()) {
+    if (algorithm.train().stats.count("warmup") == 0) {
+      trained = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(trained);
+}
+
+// Learning smoke test: on a trivial two-state MDP where action 0 always
+// yields reward 1 and action 1 yields 0, DQN's greedy policy should settle
+// on action 0 after training.
+TEST(DqnAlgorithm, LearnsTrivialBandit) {
+  DqnConfig config = small_config();
+  config.train_start = 32;
+  config.eps_decay_steps = 1;
+  config.eps_end = 0.0f;
+  DqnAlgorithm algorithm(config, 2, 2, 3);
+
+  Rng rng(4);
+  RolloutBatch batch;
+  for (int i = 0; i < 400; ++i) {
+    RolloutStep step;
+    step.observation = {1.0f, 0.0f};
+    step.action = static_cast<std::int32_t>(rng.uniform_index(2));
+    step.reward = step.action == 0 ? 1.0f : 0.0f;
+    step.done = true;  // bandit: single-step episodes
+    batch.steps.push_back(std::move(step));
+  }
+  algorithm.prepare_data(std::move(batch));
+  for (int i = 0; i < 300 && algorithm.ready_to_train(); ++i) {
+    (void)algorithm.train();
+  }
+  // Rebuild an agent from the learned weights; greedy action must be 0.
+  DqnAgent agent(config, 2, 2, 0, 9);
+  ASSERT_TRUE(agent.apply_weights(algorithm.weights(),
+                                  algorithm.weights_version()));
+  int zeros = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (agent.infer_action({1.0f, 0.0f}) == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 90);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,226 @@
+#include "framework/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "framework/dummy_transmission.h"
+
+namespace xt {
+namespace {
+
+AlgoSetup tiny_impala_setup() {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.env_name = "CartPole";
+  setup.seed = 1;
+  setup.impala.hidden = {16};
+  setup.impala.fragment_len = 50;
+  return setup;
+}
+
+TEST(XingTianRuntime, ImpalaRunConsumesSteps) {
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {2};
+  deployment.max_steps_consumed = 2'000;
+  deployment.max_seconds = 30.0;
+
+  XingTianRuntime runtime(tiny_impala_setup(), deployment);
+  const RunReport report = runtime.run();
+
+  EXPECT_GE(report.steps_consumed, 2'000u);
+  EXPECT_GT(report.training_sessions, 0);
+  EXPECT_GT(report.avg_throughput, 0.0);
+  EXPECT_GT(report.rollout_messages, 0u);
+  EXPECT_GT(report.rollout_bytes, 0u);
+  EXPECT_GT(report.weight_broadcasts, 0u);
+  EXPECT_GT(report.episodes, 0u);  // CartPole episodes are short
+  EXPECT_FALSE(report.throughput_series.empty());
+}
+
+TEST(XingTianRuntime, PpoSynchronousRunWorks) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kPpo;
+  setup.env_name = "CartPole";
+  setup.ppo.hidden = {16};
+  setup.ppo.fragment_len = 50;
+  setup.ppo.n_explorers = 3;
+  setup.ppo.epochs = 1;
+
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {3};
+  deployment.max_steps_consumed = 600;  // 4 iterations of 150
+  deployment.max_seconds = 30.0;
+
+  XingTianRuntime runtime(setup, deployment);
+  const RunReport report = runtime.run();
+  EXPECT_GE(report.steps_consumed, 600u);
+  // PPO consumes one fragment per explorer per session.
+  EXPECT_GE(report.training_sessions, 4);
+  EXPECT_GT(report.weight_broadcasts, 0u);
+}
+
+TEST(XingTianRuntime, DqnRunWithLearnerLocalReplay) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kDqn;
+  setup.env_name = "CartPole";
+  setup.dqn.hidden = {16};
+  setup.dqn.replay_capacity = 5'000;
+  setup.dqn.train_start = 200;
+  setup.dqn.eps_decay_steps = 500;
+
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {1};  // the paper's single-explorer DQN
+  deployment.max_steps_consumed = 1'000;
+  deployment.max_seconds = 30.0;
+
+  XingTianRuntime runtime(setup, deployment);
+  const RunReport report = runtime.run();
+  EXPECT_GE(report.steps_consumed, 1'000u);
+  EXPECT_GT(report.training_sessions, 0);
+}
+
+TEST(XingTianRuntime, WallClockGoalStopsRun) {
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {1};
+  deployment.max_steps_consumed = 0;  // unlimited
+  deployment.max_seconds = 0.5;
+
+  XingTianRuntime runtime(tiny_impala_setup(), deployment);
+  const RunReport report = runtime.run();
+  EXPECT_GE(report.wall_seconds, 0.5);
+  EXPECT_LT(report.wall_seconds, 10.0);
+}
+
+TEST(XingTianRuntime, MultiMachineDeploymentRuns) {
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {1, 2};  // learner on machine 0
+  deployment.link.bandwidth_bytes_per_sec = 500e6;
+  deployment.max_steps_consumed = 1'500;
+  deployment.max_seconds = 30.0;
+
+  XingTianRuntime runtime(tiny_impala_setup(), deployment);
+  const RunReport report = runtime.run();
+  EXPECT_GE(report.steps_consumed, 1'500u);
+}
+
+TEST(XingTianRuntime, LatencyInstrumentationPopulated) {
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {2};
+  deployment.max_steps_consumed = 1'000;
+  deployment.max_seconds = 30.0;
+
+  XingTianRuntime runtime(tiny_impala_setup(), deployment);
+  const RunReport report = runtime.run();
+  EXPECT_GT(report.mean_train_ms, 0.0);
+  EXPECT_GE(report.mean_wait_ms, 0.0);
+  EXPECT_GT(report.mean_transmission_ms, 0.0);
+  EXPECT_FALSE(report.wait_cdf.empty());
+}
+
+TEST(DummyTransmission, SingleMachineDelivers) {
+  DummyConfig config;
+  config.explorers_per_machine = {2};
+  config.message_bytes = 64 * 1024;
+  config.messages_per_explorer = 5;
+  config.broker.compression.enabled = false;
+
+  const DummyResult result = run_dummy_transmission_xingtian(config);
+  EXPECT_EQ(result.messages_received, 10u);
+  EXPECT_EQ(result.bytes_received, 10u * 64 * 1024);
+  EXPECT_GT(result.throughput_mbps, 0.0);
+  EXPECT_EQ(result.cross_machine_bytes, 0u);
+}
+
+TEST(DummyTransmission, TwoMachineTrafficCrossesLink) {
+  DummyConfig config;
+  config.explorers_per_machine = {1, 1};
+  config.message_bytes = 32 * 1024;
+  config.messages_per_explorer = 4;
+  config.link.bandwidth_bytes_per_sec = 1e9;
+  config.broker.compression.enabled = false;
+
+  const DummyResult result = run_dummy_transmission_xingtian(config);
+  EXPECT_EQ(result.messages_received, 8u);
+  // Only the remote explorer's messages cross the simulated NIC.
+  EXPECT_GE(result.cross_machine_bytes, 4u * 32 * 1024);
+  EXPECT_LT(result.cross_machine_bytes, 8u * 32 * 1024);
+}
+
+TEST(XingTianRuntime, StatsCsvIsWritten) {
+  const std::string csv = ::testing::TempDir() + "xt_stats_test.csv";
+  std::remove(csv.c_str());
+
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {1};
+  deployment.max_steps_consumed = 500;
+  deployment.max_seconds = 30.0;
+  deployment.stats_csv_path = csv;
+
+  XingTianRuntime runtime(tiny_impala_setup(), deployment);
+  (void)runtime.run();
+
+  std::FILE* file = std::fopen(csv.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char header[64] = {0};
+  ASSERT_NE(std::fgets(header, sizeof(header), file), nullptr);
+  EXPECT_STREQ(header, "t_seconds,source,key,value\n");
+  char row[256] = {0};
+  EXPECT_NE(std::fgets(row, sizeof(row), file), nullptr);  // at least one record
+  std::fclose(file);
+  std::remove(csv.c_str());
+}
+
+TEST(DummyTransmission, PayloadHelpers) {
+  const Bytes random = make_dummy_payload(1'000, false, 1);
+  const Bytes repetitive = make_dummy_payload(1'000, true, 1);
+  EXPECT_EQ(random.size(), 1'000u);
+  EXPECT_EQ(repetitive.size(), 1'000u);
+  EXPECT_NE(random, repetitive);
+}
+
+TEST(XingTianRuntime, BoundedSendBuffersStillCompleteRuns) {
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {2};
+  deployment.explorer_send_capacity = 1;  // maximal backpressure
+  deployment.max_steps_consumed = 1'000;
+  deployment.max_seconds = 30.0;
+  XingTianRuntime runtime(tiny_impala_setup(), deployment);
+  const RunReport report = runtime.run();
+  EXPECT_GE(report.steps_consumed, 1'000u);
+}
+
+// End-to-end smoke across every algorithm kind under the full runtime.
+class RuntimeAlgoTest : public ::testing::TestWithParam<AlgoKind> {};
+
+TEST_P(RuntimeAlgoTest, RunsToStepGoalOnCartPole) {
+  AlgoSetup setup;
+  setup.kind = GetParam();
+  setup.env_name = "CartPole";
+  setup.seed = 3;
+  setup.impala.hidden = {16};
+  setup.impala.fragment_len = 50;
+  setup.ppo.hidden = {16};
+  setup.ppo.fragment_len = 50;
+  setup.ppo.n_explorers = 2;
+  setup.ppo.epochs = 1;
+  setup.dqn.hidden = {16};
+  setup.dqn.replay_capacity = 5'000;
+  setup.dqn.train_start = 100;
+  setup.dqn.eps_decay_steps = 500;
+
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {setup.kind == AlgoKind::kDqn ? 1 : 2};
+  deployment.max_steps_consumed = 600;
+  deployment.max_seconds = 30.0;
+
+  XingTianRuntime runtime(setup, deployment);
+  const RunReport report = runtime.run();
+  EXPECT_GE(report.steps_consumed, 600u);
+  EXPECT_GT(report.training_sessions, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, RuntimeAlgoTest,
+                         ::testing::Values(AlgoKind::kDqn, AlgoKind::kPpo,
+                                           AlgoKind::kImpala, AlgoKind::kA2c));
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,180 @@
+#include "algo/impala.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/factory.h"
+#include "common/rng.h"
+
+namespace xt {
+namespace {
+
+ImpalaConfig small_config() {
+  ImpalaConfig config;
+  config.hidden = {16};
+  config.fragment_len = 32;
+  return config;
+}
+
+RolloutBatch fragment_from_agent(ImpalaAgent& agent, std::size_t obs_dim,
+                                 Rng& rng) {
+  while (!agent.batch_ready()) {
+    std::vector<float> obs(obs_dim);
+    for (auto& v : obs) v = static_cast<float>(rng.normal());
+    const auto action = agent.infer_action(obs);
+    agent.handle_env_feedback(obs, action, static_cast<float>(rng.normal()),
+                              rng.bernoulli(0.05), obs);
+  }
+  return agent.take_batch();
+}
+
+TEST(ImpalaAgent, IsOffPolicy) {
+  ImpalaAgent agent(small_config(), 4, 2, 0, 1);
+  EXPECT_FALSE(agent.requires_fresh_weights());
+}
+
+TEST(ImpalaAlgorithm, ReadyWithSingleFragment) {
+  ImpalaConfig config = small_config();
+  ImpalaAlgorithm algorithm(config, 4, 2, 1);
+  EXPECT_FALSE(algorithm.ready_to_train());
+  ImpalaAgent agent(config, 4, 2, 0, 2);
+  Rng rng(3);
+  algorithm.prepare_data(fragment_from_agent(agent, 4, rng));
+  EXPECT_TRUE(algorithm.ready_to_train());
+}
+
+TEST(ImpalaAlgorithm, TrainRespondsToSourceExplorer) {
+  ImpalaConfig config = small_config();
+  ImpalaAlgorithm algorithm(config, 4, 2, 1);
+  ImpalaAgent agent(config, 4, 2, 5, 2);
+  Rng rng(3);
+  algorithm.prepare_data(fragment_from_agent(agent, 4, rng));
+  const auto result = algorithm.train();
+  EXPECT_EQ(result.steps_consumed, 32u);
+  ASSERT_EQ(result.respond_to.size(), 1u);
+  EXPECT_EQ(result.respond_to[0], 5u);
+}
+
+TEST(ImpalaAlgorithm, VersionBumpsPerTrain) {
+  ImpalaConfig config = small_config();
+  ImpalaAlgorithm algorithm(config, 4, 2, 1);
+  ImpalaAgent agent(config, 4, 2, 0, 2);
+  Rng rng(3);
+  const auto v0 = algorithm.weights_version();
+  for (int i = 0; i < 3; ++i) {
+    algorithm.prepare_data(fragment_from_agent(agent, 4, rng));
+    (void)algorithm.train();
+  }
+  EXPECT_EQ(algorithm.weights_version(), v0 + 3);
+}
+
+TEST(ImpalaAlgorithm, StaleFragmentsAreStillConsumed) {
+  // Off-policy: fragments from an older policy version train fine.
+  ImpalaConfig config = small_config();
+  ImpalaAlgorithm algorithm(config, 4, 2, 1);
+  ImpalaAgent agent(config, 4, 2, 0, 2);
+  Rng rng(3);
+  RolloutBatch old_fragment = fragment_from_agent(agent, 4, rng);
+  old_fragment.weights_version = 0;  // ancient
+  // Advance the learner.
+  algorithm.prepare_data(fragment_from_agent(agent, 4, rng));
+  (void)algorithm.train();
+  algorithm.prepare_data(std::move(old_fragment));
+  EXPECT_TRUE(algorithm.ready_to_train());
+  const auto result = algorithm.train();
+  EXPECT_EQ(result.steps_consumed, 32u);
+  EXPECT_GE(result.stats.at("policy_lag"), 2.0);
+}
+
+TEST(ImpalaAlgorithm, QueueDrainsFifo) {
+  ImpalaConfig config = small_config();
+  ImpalaAlgorithm algorithm(config, 4, 2, 1);
+  ImpalaAgent agent_a(config, 4, 2, 1, 2);
+  ImpalaAgent agent_b(config, 4, 2, 2, 3);
+  Rng rng(5);
+  algorithm.prepare_data(fragment_from_agent(agent_a, 4, rng));
+  algorithm.prepare_data(fragment_from_agent(agent_b, 4, rng));
+  EXPECT_EQ(algorithm.queued_fragments(), 2u);
+  EXPECT_EQ(algorithm.train().respond_to[0], 1u);
+  EXPECT_EQ(algorithm.train().respond_to[0], 2u);
+}
+
+TEST(ImpalaAlgorithm, WeightsApplyToAgent) {
+  ImpalaConfig config = small_config();
+  ImpalaAlgorithm algorithm(config, 4, 2, 1);
+  ImpalaAgent agent(config, 4, 2, 0, 2);
+  EXPECT_TRUE(agent.apply_weights(algorithm.weights(), 2));
+  EXPECT_EQ(agent.weights_version(), 2u);
+}
+
+TEST(ImpalaAlgorithm, LearnsBanditPreference) {
+  ImpalaConfig config;
+  config.hidden = {16};
+  config.fragment_len = 64;
+  config.lr = 0.01f;
+  config.entropy_coef = 0.0f;
+  ImpalaAlgorithm algorithm(config, 2, 2, 21);
+  ImpalaAgent agent(config, 2, 2, 0, 22);
+
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    while (!agent.batch_ready()) {
+      const std::vector<float> obs = {1.0f, 0.0f};
+      const auto action = agent.infer_action(obs);
+      agent.handle_env_feedback(obs, action, action == 0 ? 1.0f : -1.0f, true,
+                                obs);
+    }
+    algorithm.prepare_data(agent.take_batch());
+    (void)algorithm.train();
+    // Off-policy: weights applied when the broadcast arrives, not in lockstep.
+    if (iteration % 2 == 0) {
+      (void)agent.apply_weights(algorithm.weights(),
+                                algorithm.weights_version());
+    }
+  }
+  (void)agent.apply_weights(algorithm.weights(), algorithm.weights_version());
+  int zeros = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (agent.infer_action({1.0f, 0.0f}) == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 160);
+}
+
+TEST(AlgoFactory, ConstructsAllKinds) {
+  AlgoSetup setup;
+  setup.dqn.hidden = {8};
+  setup.ppo.hidden = {8};
+  setup.impala.hidden = {8};
+  for (AlgoKind kind : {AlgoKind::kDqn, AlgoKind::kPpo, AlgoKind::kImpala,
+                        AlgoKind::kA2c}) {
+    setup.kind = kind;
+    auto algorithm = make_algorithm(setup, 4, 2);
+    auto agent = make_agent(setup, 4, 2, 0);
+    ASSERT_NE(algorithm, nullptr) << algo_kind_name(kind);
+    ASSERT_NE(agent, nullptr) << algo_kind_name(kind);
+    EXPECT_TRUE(agent->apply_weights(algorithm->weights(),
+                                     algorithm->weights_version() + 1));
+  }
+}
+
+TEST(AlgoFactory, InitialWeightsAreApplied) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.impala.hidden = {8};
+  auto source = make_algorithm(setup, 4, 2);
+  setup.seed = 999;  // different init
+  setup.initial_weights = source->weights();
+  auto clone = make_algorithm(setup, 4, 2);
+  EXPECT_EQ(clone->weights(), source->weights());
+}
+
+TEST(AlgoFactory, StepsPerMessageMatchesKind) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kDqn;
+  EXPECT_EQ(steps_per_message(setup), setup.dqn.steps_per_message);
+  setup.kind = AlgoKind::kPpo;
+  EXPECT_EQ(steps_per_message(setup), setup.ppo.fragment_len);
+  setup.kind = AlgoKind::kImpala;
+  EXPECT_EQ(steps_per_message(setup), setup.impala.fragment_len);
+}
+
+}  // namespace
+}  // namespace xt

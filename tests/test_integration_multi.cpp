@@ -1,0 +1,156 @@
+// Cross-cutting integration scenarios that combine features the unit tests
+// exercise separately: non-default learner placement, compression on the
+// wire, frame payloads, CSV stats, and PBT over a different algorithm.
+
+#include <gtest/gtest.h>
+
+#include "envs/registry.h"
+#include "envs/timed_env.h"
+#include "framework/checkpoint.h"
+#include "framework/dummy_transmission.h"
+#include "framework/runtime.h"
+#include "pbt/pbt.h"
+
+namespace xt {
+namespace {
+
+TEST(IntegrationMulti, LearnerOnSecondMachineWithCompressionAndFrames) {
+  // Explorers on machine 0 and 2, learner on machine 1: every rollout and
+  // every weights broadcast crosses the simulated NIC, with LZ4 enabled and
+  // frame payloads above the compression threshold.
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.env_name = "CartPole";
+  setup.impala.hidden = {16};
+  setup.impala.fragment_len = 100;
+  setup.impala.frame_bytes_per_step = 4'096;  // ~410 KB fragments
+
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {1, 0, 1};
+  deployment.learner_machine = 1;
+  deployment.link.bandwidth_bytes_per_sec = 200e6;
+  deployment.broker.compression.enabled = true;
+  deployment.broker.compression.threshold_bytes = 64 * 1024;
+  deployment.explorer_send_capacity = 2;
+  deployment.max_steps_consumed = 800;
+  deployment.max_seconds = 60.0;
+
+  XingTianRuntime runtime(setup, deployment);
+  const RunReport report = runtime.run();
+  EXPECT_GE(report.steps_consumed, 800u);
+  EXPECT_GT(report.rollout_bytes, 0u);
+  EXPECT_GT(report.weight_broadcasts, 0u);
+}
+
+TEST(IntegrationMulti, TargetReturnGoalStopsTheRun) {
+  // CartPole IMPALA reaches a modest return quickly; the center controller
+  // must stop the run on the convergence goal rather than the step budget.
+  // The env is lightly throttled so explorers cannot flood the learner with
+  // stale rollouts on a small host (policy lag stalls learning otherwise).
+  register_environment("PacedCartPole", [] {
+    return std::make_unique<TimedEnv>(make_environment("CartPole"), 200'000);
+  });
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.env_name = "PacedCartPole";
+  setup.impala.hidden = {16, 16};
+  setup.impala.fragment_len = 100;
+  setup.impala.lr = 3e-3f;
+
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {2};
+  deployment.max_steps_consumed = 0;
+  deployment.max_seconds = 60.0;
+  deployment.target_return = 25.0;  // well above the ~20 of a random policy
+  deployment.target_return_window = 10;
+
+  XingTianRuntime runtime(setup, deployment);
+  const RunReport report = runtime.run();
+  // The property under test is that the controller stopped the run on the
+  // return goal, far before the wall-clock cap. The reported average is
+  // re-sampled after the stop decision (episodes keep arriving while the
+  // shutdown broadcast drains), so it may sit slightly below the threshold.
+  EXPECT_LT(report.wall_seconds, 30.0);
+  EXPECT_GE(report.episodes, 10u);
+  EXPECT_GE(report.avg_episode_return, 0.8 * deployment.target_return);
+}
+
+TEST(IntegrationMulti, CheckpointRoundTripsThroughRuntime) {
+  const std::string path = ::testing::TempDir() + "xt_integration.ckpt";
+  std::remove(path.c_str());
+
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.env_name = "CartPole";
+  setup.impala.hidden = {16};
+  setup.impala.fragment_len = 50;
+
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {1};
+  deployment.max_steps_consumed = 300;
+  deployment.max_seconds = 30.0;
+
+  Bytes trained_weights;
+  {
+    XingTianRuntime runtime(setup, deployment);
+    const RunReport report = runtime.run();
+    trained_weights = runtime.learner().snapshot_weights();
+    Checkpointer checkpointer(path, 1);
+    ASSERT_TRUE(checkpointer.save(trained_weights, 5, report.steps_consumed));
+  }
+
+  // "Restart after failure": a fresh runtime restores the checkpoint.
+  const auto snapshot = Checkpointer::load(path);
+  ASSERT_TRUE(snapshot.has_value());
+  setup.initial_weights = snapshot->weights;
+  setup.seed = 999;  // would diverge from the snapshot without the restore
+  XingTianRuntime restored(setup, deployment);
+  EXPECT_EQ(restored.learner().snapshot_weights(), trained_weights);
+  (void)restored.run();
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationMulti, PbtWorksWithPpoPopulations) {
+  AlgoSetup base;
+  base.kind = AlgoKind::kPpo;
+  base.env_name = "CartPole";
+  base.ppo.hidden = {16};
+  base.ppo.fragment_len = 50;
+  base.ppo.n_explorers = 1;
+  base.ppo.epochs = 1;
+
+  PbtConfig config;
+  config.populations = 2;
+  config.generations = 2;
+  config.generation_seconds = 0.6;
+  config.deployment.explorers_per_machine = {1};
+  config.initial_lrs = {3e-4f, 3e-3f};
+
+  const PbtReport report = run_pbt(base, config);
+  ASSERT_EQ(report.generations.size(), 2u);
+  for (const auto& generation : report.generations) {
+    for (const auto& member : generation) {
+      EXPECT_GT(member.steps_consumed, 0u);
+    }
+  }
+}
+
+TEST(IntegrationMulti, DummyTransmissionWithCompressionShrinksWireTraffic) {
+  DummyConfig config;
+  config.explorers_per_machine = {0, 2};
+  config.message_bytes = 512 * 1024;
+  config.messages_per_explorer = 3;
+  config.compressible_payload = true;
+  config.link.bandwidth_bytes_per_sec = 1e9;
+  config.broker.compression.enabled = true;
+  config.broker.compression.threshold_bytes = 64 * 1024;
+
+  const DummyResult result = run_dummy_transmission_xingtian(config);
+  EXPECT_EQ(result.messages_received, 6u);
+  EXPECT_EQ(result.bytes_received, 6u * 512 * 1024);  // restored at receive
+  // On the wire the compressible bodies must have shrunk drastically.
+  EXPECT_LT(result.cross_machine_bytes, result.bytes_received / 10);
+}
+
+}  // namespace
+}  // namespace xt

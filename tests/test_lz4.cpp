@@ -1,0 +1,214 @@
+#include "compress/lz4.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "compress/codec.h"
+
+namespace xt {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+Bytes repetitive_bytes(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>((i / 64) % 7);
+  }
+  return out;
+}
+
+Bytes text_like_bytes(std::size_t n, std::uint64_t seed) {
+  static const char* kWords[] = {"rollout", "learner", "explorer", "broker",
+                                 "message", "weights", "train", " "};
+  Rng rng(seed);
+  Bytes out;
+  while (out.size() < n) {
+    const char* w = kWords[rng.uniform_index(8)];
+    out.insert(out.end(), w, w + std::strlen(w));
+  }
+  out.resize(n);
+  return out;
+}
+
+void expect_roundtrip(const Bytes& input) {
+  const Bytes packed = lz4::compress(input);
+  const auto restored = lz4::decompress(packed, input.size());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(Lz4, EmptyInput) { expect_roundtrip({}); }
+
+TEST(Lz4, SingleByte) { expect_roundtrip({0x42}); }
+
+TEST(Lz4, TinyInputsBelowMatchThreshold) {
+  for (std::size_t n = 0; n <= 13; ++n) {
+    expect_roundtrip(random_bytes(n, n + 1));
+  }
+}
+
+TEST(Lz4, AllZerosCompressesWell) {
+  const Bytes input(100'000, 0);
+  const Bytes packed = lz4::compress(input);
+  EXPECT_LT(packed.size(), input.size() / 50);
+  const auto restored = lz4::decompress(packed, input.size());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(Lz4, RepetitiveDataCompresses) {
+  const Bytes input = repetitive_bytes(64 * 1024);
+  const Bytes packed = lz4::compress(input);
+  EXPECT_LT(packed.size(), input.size() / 4);
+  expect_roundtrip(input);
+}
+
+TEST(Lz4, TextLikeDataCompresses) {
+  const Bytes input = text_like_bytes(32 * 1024, 3);
+  const Bytes packed = lz4::compress(input);
+  EXPECT_LT(packed.size(), input.size());
+  expect_roundtrip(input);
+}
+
+TEST(Lz4, RandomDataRoundTripsDespiteExpansion) {
+  const Bytes input = random_bytes(64 * 1024, 7);
+  const Bytes packed = lz4::compress(input);
+  EXPECT_LE(packed.size(), lz4::compress_bound(input.size()));
+  expect_roundtrip(input);
+}
+
+TEST(Lz4, LongRunsAtBoundaryLengths) {
+  // Exercise extended length encodings around the 15/255 boundaries.
+  for (std::size_t run : {14u, 15u, 16u, 18u, 269u, 270u, 271u, 524u, 4096u}) {
+    Bytes input(run, 0xAB);
+    input.push_back(0x01);  // break the run
+    expect_roundtrip(input);
+  }
+}
+
+TEST(Lz4, OverlappingMatchDistanceOne) {
+  // "aaaa..." forces offset-1 overlapping copies in the decompressor.
+  expect_roundtrip(Bytes(10'000, 'a'));
+}
+
+TEST(Lz4, DecompressRejectsWrongExpectedSize) {
+  const Bytes input = repetitive_bytes(1'000);
+  const Bytes packed = lz4::compress(input);
+  EXPECT_FALSE(lz4::decompress(packed, input.size() + 1).has_value());
+  EXPECT_FALSE(lz4::decompress(packed, input.size() - 1).has_value());
+}
+
+TEST(Lz4, DecompressRejectsTruncatedInput) {
+  const Bytes input = repetitive_bytes(10'000);
+  Bytes packed = lz4::compress(input);
+  packed.resize(packed.size() / 2);
+  EXPECT_FALSE(lz4::decompress(packed, input.size()).has_value());
+}
+
+TEST(Lz4, DecompressRejectsCorruptOffset) {
+  // A token demanding a match before any literals exist.
+  const Bytes bogus = {0x00, 0x10, 0x00};  // 0 literals, offset 16, but empty output
+  EXPECT_FALSE(lz4::decompress(bogus, 100).has_value());
+}
+
+TEST(Lz4, DecompressOfEmptyNeedsZeroSize) {
+  EXPECT_TRUE(lz4::decompress({}, 0).has_value());
+  EXPECT_FALSE(lz4::decompress({}, 5).has_value());
+}
+
+struct Lz4Case {
+  std::size_t size;
+  int pattern;  // 0 random, 1 repetitive, 2 text, 3 zeros
+};
+
+class Lz4PropertyTest : public ::testing::TestWithParam<Lz4Case> {};
+
+TEST_P(Lz4PropertyTest, RoundTrip) {
+  const auto& param = GetParam();
+  Bytes input;
+  switch (param.pattern) {
+    case 0: input = random_bytes(param.size, param.size * 31 + 1); break;
+    case 1: input = repetitive_bytes(param.size); break;
+    case 2: input = text_like_bytes(param.size, param.size + 5); break;
+    default: input = Bytes(param.size, 0); break;
+  }
+  expect_roundtrip(input);
+}
+
+std::vector<Lz4Case> lz4_cases() {
+  std::vector<Lz4Case> cases;
+  for (std::size_t size : {1u, 13u, 64u, 255u, 4096u, 65'537u, 1'000'000u}) {
+    for (int pattern : {0, 1, 2, 3}) cases.push_back({size, pattern});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndPatterns, Lz4PropertyTest,
+                         ::testing::ValuesIn(lz4_cases()));
+
+TEST(Codec, SmallBodiesSkipCompression) {
+  CompressionConfig config;  // 1 MB threshold
+  const Payload body = make_payload(repetitive_bytes(1024));
+  const EncodedBody encoded = maybe_compress(body, config);
+  EXPECT_FALSE(encoded.compressed);
+  EXPECT_EQ(encoded.data, body);  // zero-copy passthrough
+}
+
+TEST(Codec, LargeCompressibleBodiesGetCompressed) {
+  CompressionConfig config;
+  const Payload body = make_payload(repetitive_bytes(2 * 1024 * 1024));
+  const EncodedBody encoded = maybe_compress(body, config);
+  EXPECT_TRUE(encoded.compressed);
+  EXPECT_LT(encoded.data->size(), body->size());
+  const auto restored =
+      maybe_decompress(encoded.data, encoded.compressed, encoded.uncompressed_size);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(**restored, *body);
+}
+
+TEST(Codec, IncompressibleLargeBodiesShipRaw) {
+  CompressionConfig config;
+  const Payload body = make_payload(random_bytes(2 * 1024 * 1024, 11));
+  const EncodedBody encoded = maybe_compress(body, config);
+  EXPECT_FALSE(encoded.compressed);
+  EXPECT_EQ(encoded.data, body);
+}
+
+TEST(Codec, DisabledCompressionPassesThrough) {
+  CompressionConfig config;
+  config.enabled = false;
+  const Payload body = make_payload(repetitive_bytes(4 * 1024 * 1024));
+  const EncodedBody encoded = maybe_compress(body, config);
+  EXPECT_FALSE(encoded.compressed);
+}
+
+TEST(Codec, ThresholdIsConfigurable) {
+  CompressionConfig config;
+  config.threshold_bytes = 100;
+  const Payload body = make_payload(repetitive_bytes(1000));
+  EXPECT_TRUE(maybe_compress(body, config).compressed);
+}
+
+TEST(Codec, DecompressDetectsCorruption) {
+  CompressionConfig config;
+  config.threshold_bytes = 100;
+  const Payload body = make_payload(repetitive_bytes(10'000));
+  EncodedBody encoded = maybe_compress(body, config);
+  ASSERT_TRUE(encoded.compressed);
+  Bytes mangled = *encoded.data;
+  mangled.resize(mangled.size() / 2);
+  EXPECT_FALSE(maybe_decompress(make_payload(std::move(mangled)), true,
+                                encoded.uncompressed_size)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace xt

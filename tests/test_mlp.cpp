@@ -1,0 +1,161 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/losses.h"
+
+namespace xt::nn {
+namespace {
+
+Mlp small_net(Activation act, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return Mlp(3, {{5, act}, {4, act}, {2, Activation::kIdentity}}, rng);
+}
+
+TEST(Mlp, OutputShape) {
+  Mlp net = small_net(Activation::kRelu);
+  EXPECT_EQ(net.input_dim(), 3u);
+  EXPECT_EQ(net.output_dim(), 2u);
+  Rng rng(2);
+  const Matrix x = Matrix::he_normal(7, 3, rng);
+  const Matrix y = net.forward(x);
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(Mlp, ForwardAndForwardTrainAgree) {
+  Mlp net = small_net(Activation::kTanh);
+  Rng rng(3);
+  const Matrix x = Matrix::he_normal(4, 3, rng);
+  const Matrix a = net.forward(x);
+  const Matrix b = net.forward_train(x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Mlp, ParameterCountMatchesArchitecture) {
+  Mlp net = small_net(Activation::kRelu);
+  // 3*5+5 + 5*4+4 + 4*2+2 = 20 + 24 + 10
+  EXPECT_EQ(net.parameter_count(), 54u);
+  EXPECT_EQ(net.parameters().size(), 6u);
+  EXPECT_EQ(net.gradients().size(), 6u);
+}
+
+class MlpGradCheckTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(MlpGradCheckTest, BackpropMatchesNumericalGradients) {
+  Rng init_rng(11);
+  Mlp net(3, {{6, GetParam()}, {5, GetParam()}, {2, Activation::kIdentity}},
+          init_rng);
+  Rng data_rng(13);
+  const Matrix x = Matrix::he_normal(8, 3, data_rng);
+  Matrix target = Matrix::he_normal(8, 2, data_rng);
+
+  const auto loss_fn = [&]() -> float {
+    const Matrix pred = net.forward_train(x);
+    Matrix grad;
+    const float loss = mse_loss(pred, target, grad);
+    (void)net.backward(grad);
+    return loss;
+  };
+  // ReLU kinks make the numeric derivative discontinuous at a few params;
+  // check the 95th percentile there and the strict max elsewhere.
+  const double quantile = GetParam() == Activation::kRelu ? 0.95 : 1.0;
+  EXPECT_LT(max_gradient_error(net, loss_fn, 1e-2f, quantile), 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, MlpGradCheckTest,
+                         ::testing::Values(Activation::kIdentity,
+                                           Activation::kTanh,
+                                           Activation::kRelu));
+
+TEST(Mlp, BackwardReturnsInputGradient) {
+  Mlp net = small_net(Activation::kTanh, 7);
+  Rng rng(5);
+  const Matrix x = Matrix::he_normal(2, 3, rng);
+  (void)net.forward_train(x);
+  Matrix grad_out(2, 2, 1.0f);
+  const Matrix grad_in = net.backward(grad_out);
+  EXPECT_EQ(grad_in.rows(), 2u);
+  EXPECT_EQ(grad_in.cols(), 3u);
+}
+
+TEST(Mlp, ZeroGradClearsAccumulation) {
+  Mlp net = small_net(Activation::kRelu);
+  Rng rng(5);
+  const Matrix x = Matrix::he_normal(2, 3, rng);
+  (void)net.forward_train(x);
+  (void)net.backward(Matrix(2, 2, 1.0f));
+  net.zero_grad();
+  for (Matrix* g : net.gradients()) {
+    for (float v : g->data()) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Mlp, GradientsAccumulateAcrossBackwardCalls) {
+  Mlp net = small_net(Activation::kIdentity);
+  Rng rng(5);
+  const Matrix x = Matrix::he_normal(2, 3, rng);
+  (void)net.forward_train(x);
+  (void)net.backward(Matrix(2, 2, 1.0f));
+  const auto first = net.gradients()[0]->data();
+  (void)net.forward_train(x);
+  (void)net.backward(Matrix(2, 2, 1.0f));
+  const auto second = net.gradients()[0]->data();
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NEAR(second[i], 2.0f * first[i], 1e-5);
+  }
+}
+
+TEST(Mlp, SerializeDeserializeRoundTrip) {
+  Mlp net = small_net(Activation::kTanh, 21);
+  const Bytes blob = net.serialize();
+  auto restored = Mlp::deserialize(blob);
+  ASSERT_TRUE(restored.has_value());
+  Rng rng(5);
+  const Matrix x = Matrix::he_normal(3, 3, rng);
+  const Matrix a = net.forward(x);
+  const Matrix b = restored->forward(x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Mlp, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Mlp::deserialize({1, 2, 3}).has_value());
+}
+
+TEST(Mlp, LoadWeightsAppliesSnapshot) {
+  Mlp a = small_net(Activation::kRelu, 1);
+  Mlp b = small_net(Activation::kRelu, 2);
+  ASSERT_TRUE(b.load_weights(a.serialize()));
+  Rng rng(5);
+  const Matrix x = Matrix::he_normal(2, 3, rng);
+  const Matrix ya = a.forward(x);
+  const Matrix yb = b.forward(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(Mlp, LoadWeightsRejectsArchitectureMismatch) {
+  Mlp a = small_net(Activation::kRelu);
+  Rng rng(9);
+  Mlp wider(3, {{16, Activation::kRelu}, {2, Activation::kIdentity}}, rng);
+  EXPECT_FALSE(a.load_weights(wider.serialize()));
+  Mlp other_input(4, {{5, Activation::kRelu}, {4, Activation::kRelu},
+                      {2, Activation::kIdentity}}, rng);
+  EXPECT_FALSE(a.load_weights(other_input.serialize()));
+}
+
+TEST(Mlp, CopyParametersFrom) {
+  Mlp a = small_net(Activation::kTanh, 31);
+  Mlp b = small_net(Activation::kTanh, 32);
+  b.copy_parameters_from(a);
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+}  // namespace
+}  // namespace xt::nn

@@ -1,0 +1,184 @@
+#include "netsim/fabric.h"
+#include "netsim/paced_pipe.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "comm/endpoint.h"
+#include "common/clock.h"
+
+namespace xt {
+namespace {
+
+TEST(PacedPipe, DeliversFramesInOrder) {
+  PacedPipe pipe("test", LinkConfig{1e9, 0, 0});
+  std::vector<int> delivered;
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pipe.send(8, [&, i] {
+      std::scoped_lock lock(mu);
+      delivered.push_back(i);
+      cv.notify_one();
+    }));
+  }
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return delivered.size() == 10; });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(delivered[i], i);
+}
+
+TEST(PacedPipe, PacesAtConfiguredBandwidth) {
+  // 10 MB at 100 MB/s should take ~100 ms.
+  LinkConfig link;
+  link.bandwidth_bytes_per_sec = 100e6;
+  link.latency_ns = 0;
+  link.frame_overhead_bytes = 0;
+  PacedPipe pipe("bw", link);
+  std::atomic<bool> done{false};
+  const Stopwatch clock;
+  ASSERT_TRUE(pipe.send(10'000'000, [&] { done.store(true); }));
+  while (!done.load()) std::this_thread::yield();
+  const double elapsed = clock.elapsed_s();
+  EXPECT_GE(elapsed, 0.095);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(PacedPipe, AppliesPropagationLatency) {
+  LinkConfig link;
+  link.bandwidth_bytes_per_sec = 1e12;
+  link.latency_ns = 20'000'000;  // 20 ms
+  link.frame_overhead_bytes = 0;
+  PacedPipe pipe("lat", link);
+  std::atomic<bool> done{false};
+  const Stopwatch clock;
+  ASSERT_TRUE(pipe.send(1, [&] { done.store(true); }));
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_GE(clock.elapsed_ms(), 19.0);
+}
+
+TEST(PacedPipe, CountsBytesAndFrames) {
+  PacedPipe pipe("count", LinkConfig{1e12, 0, 0});
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pipe.send(100, [&] { delivered.fetch_add(1); }));
+  }
+  while (delivered.load() < 5) std::this_thread::yield();
+  EXPECT_EQ(pipe.bytes_transferred(), 500u);
+  EXPECT_EQ(pipe.frames_transferred(), 5u);
+}
+
+TEST(PacedPipe, StopRejectsFurtherSends) {
+  PacedPipe pipe("stop", LinkConfig{1e12, 0, 0});
+  pipe.stop();
+  EXPECT_FALSE(pipe.send(10, [] {}));
+}
+
+TEST(Fabric, CrossMachineDelivery) {
+  Broker machine0(0);
+  Broker machine1(1);
+  Fabric fabric(LinkConfig{1e9, 10'000, 64});
+  fabric.connect(machine0, machine1);
+
+  Endpoint sender(explorer_id(1, 0), machine1);
+  Endpoint receiver(learner_id(0), machine0);
+
+  ASSERT_TRUE(sender.send(make_outbound(sender.id(), {receiver.id()},
+                                        MsgType::kRollout,
+                                        make_payload(Bytes(1'000, 3)))));
+  const auto msg = receiver.receive_for(std::chrono::seconds(5));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->body->size(), 1'000u);
+  EXPECT_EQ(msg->body->front(), 3);
+  EXPECT_GE(fabric.total_bytes(), 1'000u);
+
+  sender.stop();
+  receiver.stop();
+  fabric.stop();
+}
+
+TEST(Fabric, CrossMachineBroadcastReachesLocalAndRemote) {
+  Broker machine0(0);
+  Broker machine1(1);
+  Fabric fabric(LinkConfig{1e9, 0, 0});
+  fabric.connect(machine0, machine1);
+
+  Endpoint learner(learner_id(0), machine0);
+  Endpoint local(explorer_id(0, 0), machine0);
+  Endpoint remote_a(explorer_id(1, 1), machine1);
+  Endpoint remote_b(explorer_id(1, 2), machine1);
+
+  ASSERT_TRUE(learner.send(make_outbound(
+      learner.id(), {local.id(), remote_a.id(), remote_b.id()},
+      MsgType::kWeights, make_payload(Bytes(500, 8)))));
+
+  for (Endpoint* endpoint : {&local, &remote_a, &remote_b}) {
+    const auto msg = endpoint->receive_for(std::chrono::seconds(5));
+    ASSERT_TRUE(msg.has_value()) << endpoint->id().name();
+    EXPECT_EQ(msg->body->size(), 500u);
+  }
+  // The body must cross the wire once, not once per remote destination.
+  EXPECT_LE(fabric.total_bytes(), 600u);
+
+  learner.stop();
+  local.stop();
+  remote_a.stop();
+  remote_b.stop();
+  fabric.stop();
+}
+
+TEST(Fabric, RemoteTransmissionIsBandwidthBound) {
+  // Disable compression: a constant-fill body would otherwise shrink to
+  // almost nothing before hitting the link.
+  Broker::Options options;
+  options.compression.enabled = false;
+  Broker machine0(0, options);
+  Broker machine1(1, options);
+  // 50 MB/s link; a 5 MB body should take ~100 ms.
+  Fabric fabric(LinkConfig{50e6, 0, 0});
+  fabric.connect(machine0, machine1);
+
+  Endpoint sender(explorer_id(1, 0), machine1);
+  Endpoint receiver(learner_id(0), machine0);
+
+  const Stopwatch clock;
+  ASSERT_TRUE(sender.send(make_outbound(sender.id(), {receiver.id()},
+                                        MsgType::kRollout,
+                                        make_payload(Bytes(5'000'000, 1)))));
+  const auto msg = receiver.receive_for(std::chrono::seconds(10));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_GE(clock.elapsed_ms(), 95.0);
+
+  sender.stop();
+  receiver.stop();
+  fabric.stop();
+}
+
+TEST(Fabric, ThreeMachineStarThroughLearnerCenter) {
+  std::vector<std::unique_ptr<Broker>> brokers;
+  for (std::uint16_t m = 0; m < 3; ++m) brokers.push_back(std::make_unique<Broker>(m));
+  Fabric fabric(LinkConfig{1e9, 0, 0});
+  fabric.connect(*brokers[0], *brokers[1]);
+  fabric.connect(*brokers[0], *brokers[2]);
+
+  Endpoint learner(learner_id(0), *brokers[0]);
+  Endpoint e1(explorer_id(1, 0), *brokers[1]);
+  Endpoint e2(explorer_id(2, 1), *brokers[2]);
+
+  ASSERT_TRUE(e1.send(make_outbound(e1.id(), {learner.id()}, MsgType::kRollout,
+                                    make_payload(Bytes(10, 1)))));
+  ASSERT_TRUE(e2.send(make_outbound(e2.id(), {learner.id()}, MsgType::kRollout,
+                                    make_payload(Bytes(10, 2)))));
+  int received = 0;
+  while (received < 2) {
+    ASSERT_TRUE(learner.receive_for(std::chrono::seconds(5)).has_value());
+    ++received;
+  }
+  learner.stop();
+  e1.stop();
+  e2.stop();
+  fabric.stop();
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,114 @@
+#include "comm/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace xt {
+namespace {
+
+Payload payload_of(std::initializer_list<std::uint8_t> bytes) {
+  return make_payload(Bytes(bytes));
+}
+
+TEST(ObjectStore, PutThenFetchReturnsSameBytes) {
+  ObjectStore store;
+  const auto id = store.put(payload_of({1, 2, 3}), 1);
+  const Payload fetched = store.fetch(id);
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_EQ(*fetched, (Bytes{1, 2, 3}));
+}
+
+TEST(ObjectStore, FetchIsZeroCopy) {
+  ObjectStore store;
+  const Payload original = payload_of({9});
+  const auto id = store.put(original, 1);
+  const Payload fetched = store.fetch(id);
+  EXPECT_EQ(fetched.get(), original.get());  // same underlying allocation
+}
+
+TEST(ObjectStore, EntryDisappearsAfterLastFetch) {
+  ObjectStore store;
+  const auto id = store.put(payload_of({1}), 2);
+  EXPECT_EQ(store.live_objects(), 1u);
+  ASSERT_NE(store.fetch(id), nullptr);
+  EXPECT_EQ(store.live_objects(), 1u);  // one claim left
+  ASSERT_NE(store.fetch(id), nullptr);
+  EXPECT_EQ(store.live_objects(), 0u);
+  EXPECT_EQ(store.fetch(id), nullptr);  // fully consumed
+}
+
+TEST(ObjectStore, BroadcastKeepsSingleCopyAlive) {
+  ObjectStore store;
+  const Payload big = make_payload(Bytes(1'000, 7));
+  const auto id = store.put(big, 4);
+  EXPECT_EQ(store.live_bytes(), 1'000u);  // one copy despite 4 destinations
+  for (int i = 0; i < 4; ++i) ASSERT_NE(store.fetch(id), nullptr);
+  EXPECT_EQ(store.live_bytes(), 0u);
+}
+
+TEST(ObjectStore, ReleaseDropsClaimWithoutCopy) {
+  ObjectStore store;
+  const auto id = store.put(payload_of({1}), 2);
+  store.release(id);
+  EXPECT_EQ(store.live_objects(), 1u);
+  store.release(id);
+  EXPECT_EQ(store.live_objects(), 0u);
+}
+
+TEST(ObjectStore, ReleaseUnknownIdIsHarmless) {
+  ObjectStore store;
+  store.release(12345);
+  EXPECT_EQ(store.live_objects(), 0u);
+}
+
+TEST(ObjectStore, FetchUnknownIdReturnsNull) {
+  ObjectStore store;
+  EXPECT_EQ(store.fetch(42), nullptr);
+}
+
+TEST(ObjectStore, IdsAreUnique) {
+  ObjectStore store;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(store.put(payload_of({1}), 1));
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(ObjectStore, LiveBytesTracksSizes) {
+  ObjectStore store;
+  const auto a = store.put(make_payload(Bytes(100, 1)), 1);
+  const auto b = store.put(make_payload(Bytes(50, 2)), 1);
+  EXPECT_EQ(store.live_bytes(), 150u);
+  (void)store.fetch(a);
+  EXPECT_EQ(store.live_bytes(), 50u);
+  (void)store.fetch(b);
+  EXPECT_EQ(store.live_bytes(), 0u);
+}
+
+TEST(ObjectStore, ConcurrentPutAndFetch) {
+  ObjectStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> fetched{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto id =
+            store.put(make_payload(Bytes{static_cast<std::uint8_t>(t)}), 1);
+        const Payload p = store.fetch(id);
+        if (p && p->front() == static_cast<std::uint8_t>(t)) {
+          fetched.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(fetched.load(), kThreads * kPerThread);
+  EXPECT_EQ(store.live_objects(), 0u);
+}
+
+}  // namespace
+}  // namespace xt

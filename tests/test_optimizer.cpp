@@ -1,0 +1,83 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xt::nn {
+namespace {
+
+// Minimize f(x) = 0.5 * sum x^2 whose gradient is x itself.
+template <typename Opt>
+double optimize_quadratic(Opt& opt, int steps) {
+  Matrix x(1, 4);
+  x.data() = {4.0f, -3.0f, 2.0f, -1.0f};
+  Matrix g(1, 4);
+  for (int i = 0; i < steps; ++i) {
+    g.data() = x.data();  // gradient of 0.5 x^2
+    opt.step({&x}, {&g});
+  }
+  double norm = 0.0;
+  for (float v : x.data()) norm += static_cast<double>(v) * v;
+  return std::sqrt(norm);
+}
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  Sgd opt(0.1f);
+  EXPECT_LT(optimize_quadratic(opt, 200), 1e-3);
+}
+
+TEST(Optimizer, SgdWithMomentumConverges) {
+  Sgd opt(0.05f, 0.9f);
+  EXPECT_LT(optimize_quadratic(opt, 300), 1e-2);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  Adam opt(0.1f);
+  EXPECT_LT(optimize_quadratic(opt, 500), 1e-2);
+}
+
+TEST(Optimizer, AdamFirstStepIsLearningRateSized) {
+  // Bias correction makes Adam's first update ~lr * sign(grad).
+  Adam opt(0.01f);
+  Matrix x(1, 1, 5.0f);
+  Matrix g(1, 1, 123.0f);
+  opt.step({&x}, {&g});
+  EXPECT_NEAR(x.at(0, 0), 5.0f - 0.01f, 1e-4);
+}
+
+TEST(Optimizer, StepHandlesMultipleParameterTensors) {
+  Adam opt(0.1f);
+  Matrix a(2, 2, 1.0f), b(1, 3, -1.0f);
+  Matrix ga(2, 2, 1.0f), gb(1, 3, -1.0f);
+  opt.step({&a, &b}, {&ga, &gb});
+  EXPECT_LT(a.at(0, 0), 1.0f);
+  EXPECT_GT(b.at(0, 0), -1.0f);
+}
+
+TEST(Optimizer, ClipGradientsLeavesSmallNormsAlone) {
+  Matrix g(1, 2);
+  g.data() = {0.3f, 0.4f};  // norm 0.5
+  const float norm = clip_gradients({&g}, 1.0f);
+  EXPECT_NEAR(norm, 0.5f, 1e-6);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.3f);
+}
+
+TEST(Optimizer, ClipGradientsRescalesLargeNorms) {
+  Matrix g(1, 2);
+  g.data() = {3.0f, 4.0f};  // norm 5
+  const float norm = clip_gradients({&g}, 1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5);
+  EXPECT_NEAR(g.at(0, 0), 0.6f, 1e-5);
+  EXPECT_NEAR(g.at(0, 1), 0.8f, 1e-5);
+}
+
+TEST(Optimizer, ClipGradientsAcrossTensors) {
+  Matrix a(1, 1, 3.0f), b(1, 1, 4.0f);
+  (void)clip_gradients({&a, &b}, 1.0f);
+  double norm = std::sqrt(a.at(0, 0) * a.at(0, 0) + b.at(0, 0) * b.at(0, 0));
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace xt::nn

@@ -1,0 +1,64 @@
+#include "pbt/pbt.h"
+
+#include <gtest/gtest.h>
+
+namespace xt {
+namespace {
+
+TEST(Pbt, RunsGenerationsAndEvolves) {
+  AlgoSetup base;
+  base.kind = AlgoKind::kImpala;
+  base.env_name = "CartPole";
+  base.impala.hidden = {16};
+  base.impala.fragment_len = 50;
+
+  PbtConfig config;
+  config.populations = 3;
+  config.generations = 2;
+  config.generation_seconds = 0.7;
+  config.deployment.explorers_per_machine = {1};
+  config.initial_lrs = {1e-4f, 6e-4f, 3e-3f};
+  config.seed = 5;
+
+  const PbtReport report = run_pbt(base, config);
+  ASSERT_EQ(report.generations.size(), 2u);
+  for (const auto& generation : report.generations) {
+    ASSERT_EQ(generation.size(), 3u);
+    for (const auto& member : generation) {
+      EXPECT_GT(member.lr, 0.0f);
+      EXPECT_GT(member.steps_consumed, 0u);
+    }
+  }
+  EXPECT_GT(report.best_lr, 0.0f);
+
+  // Exactly one member per non-final generation may be flagged replaced.
+  int replaced = 0;
+  for (const auto& member : report.generations.front()) {
+    if (member.replaced) ++replaced;
+  }
+  EXPECT_LE(replaced, 1);
+}
+
+TEST(Pbt, SinglePopulationDegeneratesGracefully) {
+  AlgoSetup base;
+  base.kind = AlgoKind::kImpala;
+  base.env_name = "CartPole";
+  base.impala.hidden = {16};
+  base.impala.fragment_len = 50;
+
+  PbtConfig config;
+  config.populations = 1;
+  config.generations = 2;
+  config.generation_seconds = 0.5;
+  config.deployment.explorers_per_machine = {1};
+  config.initial_lrs = {6e-4f};
+
+  const PbtReport report = run_pbt(base, config);
+  ASSERT_EQ(report.generations.size(), 2u);
+  EXPECT_FLOAT_EQ(report.best_lr, 6e-4f);
+  // Best == worst: nobody is replaced.
+  EXPECT_FALSE(report.generations[0][0].replaced);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,142 @@
+#include "replay/prioritized_replay.h"
+#include "replay/replay_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace xt {
+namespace {
+
+Transition transition_with_reward(float reward) {
+  Transition t;
+  t.observation = {reward};
+  t.reward = reward;
+  t.next_observation = {reward + 1};
+  return t;
+}
+
+TEST(UniformReplay, AddAndSize) {
+  UniformReplay replay(10, 1);
+  EXPECT_EQ(replay.size(), 0u);
+  replay.add(transition_with_reward(1.0f));
+  EXPECT_EQ(replay.size(), 1u);
+  EXPECT_EQ(replay.total_added(), 1u);
+}
+
+TEST(UniformReplay, CapacityEvictsOldest) {
+  UniformReplay replay(3, 1);
+  for (int i = 0; i < 5; ++i) replay.add(transition_with_reward(i));
+  EXPECT_EQ(replay.size(), 3u);
+  EXPECT_EQ(replay.total_added(), 5u);
+  // Remaining rewards must come from the newest 3 inserts {2, 3, 4}.
+  const auto sample = replay.sample(100);
+  for (const auto& t : sample) {
+    EXPECT_GE(t.reward, 2.0f);
+  }
+}
+
+TEST(UniformReplay, SampleFromEmptyIsEmpty) {
+  UniformReplay replay(10, 1);
+  EXPECT_TRUE(replay.sample(5).empty());
+}
+
+TEST(UniformReplay, SampleReturnsRequestedCount) {
+  UniformReplay replay(10, 1);
+  replay.add(transition_with_reward(1.0f));
+  EXPECT_EQ(replay.sample(32).size(), 32u);  // with replacement
+}
+
+TEST(UniformReplay, SamplingIsRoughlyUniform) {
+  UniformReplay replay(4, 99);
+  for (int i = 0; i < 4; ++i) replay.add(transition_with_reward(i));
+  std::map<int, int> counts;
+  for (const auto& t : replay.sample(40'000)) {
+    counts[static_cast<int>(t.reward)]++;
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[i] / 40'000.0, 0.25, 0.02);
+  }
+}
+
+TEST(UniformReplay, PreservesTransitionFields) {
+  UniformReplay replay(4, 1);
+  Transition t;
+  t.observation = {1, 2, 3};
+  t.action = 2;
+  t.reward = -1.5f;
+  t.next_observation = {4, 5, 6};
+  t.done = true;
+  replay.add(t);
+  const auto out = replay.sample(1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].observation, t.observation);
+  EXPECT_EQ(out[0].action, 2);
+  EXPECT_FLOAT_EQ(out[0].reward, -1.5f);
+  EXPECT_EQ(out[0].next_observation, t.next_observation);
+  EXPECT_TRUE(out[0].done);
+}
+
+TEST(PrioritizedReplay, AddAndSample) {
+  PrioritizedReplay replay(8, 1);
+  for (int i = 0; i < 5; ++i) replay.add(transition_with_reward(i));
+  EXPECT_EQ(replay.size(), 5u);
+  const auto sample = replay.sample(16);
+  EXPECT_EQ(sample.transitions.size(), 16u);
+  EXPECT_EQ(sample.indices.size(), 16u);
+  EXPECT_EQ(sample.weights.size(), 16u);
+}
+
+TEST(PrioritizedReplay, EmptySampleIsEmpty) {
+  PrioritizedReplay replay(8, 1);
+  EXPECT_TRUE(replay.sample(4).transitions.empty());
+}
+
+TEST(PrioritizedReplay, HighPriorityDominatesSampling) {
+  PrioritizedReplay replay(4, 7, /*alpha=*/1.0);
+  for (int i = 0; i < 4; ++i) replay.add(transition_with_reward(i));
+  // Give slot 2 overwhelming priority.
+  replay.update_priorities({0, 1, 2, 3}, {0.001f, 0.001f, 100.0f, 0.001f});
+  int hits = 0;
+  constexpr int kN = 2'000;
+  const auto sample = replay.sample(kN);
+  for (const auto& t : sample.transitions) {
+    if (static_cast<int>(t.reward) == 2) ++hits;
+  }
+  EXPECT_GT(hits, kN * 9 / 10);
+}
+
+TEST(PrioritizedReplay, ImportanceWeightsAreNormalized) {
+  PrioritizedReplay replay(8, 3);
+  for (int i = 0; i < 8; ++i) replay.add(transition_with_reward(i));
+  replay.update_priorities({0}, {50.0f});
+  const auto sample = replay.sample(64);
+  float max_w = 0.0f;
+  for (float w : sample.weights) {
+    EXPECT_GT(w, 0.0f);
+    max_w = std::max(max_w, w);
+  }
+  EXPECT_NEAR(max_w, 1.0f, 1e-5);
+}
+
+TEST(PrioritizedReplay, EvictionKeepsTreeConsistent) {
+  PrioritizedReplay replay(4, 5);
+  for (int i = 0; i < 20; ++i) {
+    replay.add(transition_with_reward(i));
+    const auto sample = replay.sample(4);
+    for (std::size_t idx : sample.indices) {
+      EXPECT_LT(idx, 4u);
+    }
+  }
+  EXPECT_EQ(replay.size(), 4u);
+}
+
+TEST(PrioritizedReplay, UpdatePrioritiesIgnoresStaleIndices) {
+  PrioritizedReplay replay(4, 5);
+  replay.add(transition_with_reward(0));
+  replay.update_priorities({99}, {5.0f});  // out of range: no crash
+  EXPECT_EQ(replay.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xt

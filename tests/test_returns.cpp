@@ -1,0 +1,106 @@
+#include "algo/returns.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace xt {
+namespace {
+
+TEST(Gae, SingleStepIsTdError) {
+  // A_0 = r_0 + gamma * bootstrap - V_0 for a one-step fragment.
+  const auto adv = gae_advantages({1.0f}, {0}, {0.5f}, 2.0f, 0.9f, 0.95f);
+  ASSERT_EQ(adv.size(), 1u);
+  EXPECT_NEAR(adv[0], 1.0f + 0.9f * 2.0f - 0.5f, 1e-6);
+}
+
+TEST(Gae, DoneMasksBootstrap) {
+  const auto adv = gae_advantages({1.0f}, {1}, {0.5f}, 100.0f, 0.9f, 0.95f);
+  EXPECT_NEAR(adv[0], 1.0f - 0.5f, 1e-6);
+}
+
+TEST(Gae, TwoStepHandComputed) {
+  // gamma = 0.5, lambda = 1 (so GAE = full-return advantage).
+  // values = {1, 2}, rewards = {1, 1}, bootstrap = 4.
+  // delta_1 = 1 + 0.5*4 - 2 = 1; A_1 = 1.
+  // delta_0 = 1 + 0.5*2 - 1 = 1; A_0 = 1 + 0.5*1 = 1.5.
+  std::vector<float> returns;
+  const auto adv = gae_advantages({1.0f, 1.0f}, {0, 0}, {1.0f, 2.0f}, 4.0f,
+                                  0.5f, 1.0f, &returns);
+  EXPECT_NEAR(adv[1], 1.0f, 1e-6);
+  EXPECT_NEAR(adv[0], 1.5f, 1e-6);
+  EXPECT_NEAR(returns[0], 2.5f, 1e-6);  // A + V
+  EXPECT_NEAR(returns[1], 3.0f, 1e-6);
+}
+
+TEST(Gae, LambdaZeroIsOneStepTd) {
+  const std::vector<float> rewards = {1.0f, 2.0f, 3.0f};
+  const std::vector<std::uint8_t> dones = {0, 0, 0};
+  const std::vector<float> values = {0.5f, 1.0f, 1.5f};
+  const auto adv = gae_advantages(rewards, dones, values, 2.0f, 0.9f, 0.0f);
+  EXPECT_NEAR(adv[0], 1.0f + 0.9f * 1.0f - 0.5f, 1e-6);
+  EXPECT_NEAR(adv[1], 2.0f + 0.9f * 1.5f - 1.0f, 1e-6);
+  EXPECT_NEAR(adv[2], 3.0f + 0.9f * 2.0f - 1.5f, 1e-6);
+}
+
+TEST(Gae, EpisodeBoundaryResetsAccumulation) {
+  // Step 0 ends an episode: its advantage must not see step 1.
+  const auto adv = gae_advantages({1.0f, 1.0f}, {1, 0}, {0.0f, 0.0f}, 5.0f,
+                                  0.9f, 0.95f);
+  EXPECT_NEAR(adv[0], 1.0f, 1e-6);  // no bootstrap through done
+}
+
+TEST(Vtrace, OnPolicyEqualsTdLambdaStyleTargets) {
+  // With log_rhos = 0 and clips >= 1, rho = c = 1 and vs matches the
+  // lambda=1 backward recursion.
+  const std::vector<float> rewards = {1.0f, 1.0f};
+  const std::vector<std::uint8_t> dones = {0, 0};
+  const std::vector<float> values = {1.0f, 2.0f};
+  const auto result = vtrace({0.0f, 0.0f}, rewards, dones, values, 4.0f, 0.5f);
+  // delta_1 = 1 + 0.5*4 - 2 = 1 -> vs_1 = 3.
+  // delta_0 = 1 + 0.5*2 - 1 = 1; vs_0 = 1 + 1 + 0.5*(3-2) = 2.5.
+  EXPECT_NEAR(result.vs[1], 3.0f, 1e-6);
+  EXPECT_NEAR(result.vs[0], 2.5f, 1e-6);
+  // pg advantage_0 = r + gamma*vs_1 - V_0 = 1 + 1.5 - 1 = 1.5.
+  EXPECT_NEAR(result.pg_advantages[0], 1.5f, 1e-6);
+  EXPECT_NEAR(result.pg_advantages[1], 1.0f + 0.5f * 4.0f - 2.0f, 1e-6);
+}
+
+TEST(Vtrace, RhoClipLimitsOffPolicyCorrection) {
+  // log_rho = log(10) would give rho = 10; clip at 1 caps the delta.
+  const float log_rho = std::log(10.0f);
+  const auto clipped = vtrace({log_rho}, {1.0f}, {0}, {0.0f}, 1.0f, 0.9f,
+                              /*rho_clip=*/1.0f, /*c_clip=*/1.0f);
+  const auto unclipped = vtrace({log_rho}, {1.0f}, {0}, {0.0f}, 1.0f, 0.9f,
+                                /*rho_clip=*/100.0f, /*c_clip=*/100.0f);
+  EXPECT_LT(clipped.vs[0], unclipped.vs[0]);
+  EXPECT_NEAR(clipped.vs[0], 1.0f * (1.0f + 0.9f * 1.0f - 0.0f), 1e-6);
+}
+
+TEST(Vtrace, LowRhoShrinksAdvantage) {
+  // Behavior much more likely than target: rho << 1 damps the update.
+  const float log_rho = std::log(0.1f);
+  const auto result = vtrace({log_rho}, {1.0f}, {0}, {0.0f}, 0.0f, 0.9f);
+  EXPECT_NEAR(result.pg_advantages[0], 0.1f * 1.0f, 1e-6);
+}
+
+TEST(Vtrace, DoneMasksBootstrapValue) {
+  const auto result = vtrace({0.0f}, {2.0f}, {1}, {0.5f}, 100.0f, 0.9f);
+  EXPECT_NEAR(result.vs[0], 0.5f + (2.0f - 0.5f), 1e-6);
+  EXPECT_NEAR(result.pg_advantages[0], 2.0f - 0.5f, 1e-6);
+}
+
+TEST(Vtrace, ZeroTdErrorGivesValueTargetsEqualValues) {
+  // If r + gamma V' - V = 0 everywhere, vs == values.
+  const std::vector<float> values = {1.0f, 1.0f, 1.0f};
+  const std::vector<float> rewards = {0.1f, 0.1f, 0.1f};
+  const float gamma = 0.9f;  // 0.1 + 0.9*1 - 1 = 0
+  const auto result = vtrace({0, 0, 0}, rewards, {0, 0, 0}, values, 1.0f, gamma);
+  for (float v : result.vs) EXPECT_NEAR(v, 1.0f, 1e-6);
+  for (float a : result.pg_advantages) EXPECT_NEAR(a, 0.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace xt

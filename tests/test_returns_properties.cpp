@@ -1,0 +1,177 @@
+// Property-style sweeps over the return estimators (GAE, V-trace) across
+// discount factors, trace parameters and trajectory shapes.
+
+#include "algo/returns.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace xt {
+namespace {
+
+struct Trajectory {
+  std::vector<float> rewards;
+  std::vector<std::uint8_t> dones;
+  std::vector<float> values;
+  float bootstrap;
+};
+
+Trajectory random_trajectory(std::size_t n, std::uint64_t seed, double done_p) {
+  Rng rng(seed);
+  Trajectory t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.rewards.push_back(static_cast<float>(rng.normal()));
+    t.dones.push_back(rng.bernoulli(done_p) ? 1 : 0);
+    t.values.push_back(static_cast<float>(rng.normal()));
+  }
+  t.bootstrap = static_cast<float>(rng.normal());
+  return t;
+}
+
+/// Discounted Monte-Carlo return of a trajectory (bootstrapped at the end).
+std::vector<float> discounted_returns(const Trajectory& t, float gamma) {
+  std::vector<float> out(t.rewards.size());
+  float acc = t.bootstrap;
+  for (std::size_t i = t.rewards.size(); i-- > 0;) {
+    acc = t.rewards[i] + gamma * (t.dones[i] ? 0.0f : acc);
+    out[i] = acc;
+  }
+  return out;
+}
+
+class GammaSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(GammaSweep, GaeLambdaOneRecoversMonteCarloAdvantage) {
+  const float gamma = GetParam();
+  const Trajectory t = random_trajectory(40, 11, 0.1);
+  std::vector<float> returns;
+  const auto adv = gae_advantages(t.rewards, t.dones, t.values, t.bootstrap,
+                                  gamma, /*lambda=*/1.0f, &returns);
+  const auto mc = discounted_returns(t, gamma);
+  for (std::size_t i = 0; i < adv.size(); ++i) {
+    EXPECT_NEAR(adv[i], mc[i] - t.values[i], 1e-3) << i;
+    EXPECT_NEAR(returns[i], mc[i], 1e-3) << i;
+  }
+}
+
+TEST_P(GammaSweep, VtraceOnPolicyValueTargetsMatchMonteCarlo) {
+  // With rho = c = 1 (on-policy) and no clipping bite, vs_t equals the
+  // Monte-Carlo bootstrapped return (lambda = 1 trace).
+  const float gamma = GetParam();
+  const Trajectory t = random_trajectory(30, 13, 0.1);
+  const std::vector<float> log_rhos(t.rewards.size(), 0.0f);
+  const auto result = vtrace(log_rhos, t.rewards, t.dones, t.values,
+                             t.bootstrap, gamma);
+  const auto mc = discounted_returns(t, gamma);
+  for (std::size_t i = 0; i < result.vs.size(); ++i) {
+    EXPECT_NEAR(result.vs[i], mc[i], 2e-3) << i;
+  }
+}
+
+TEST_P(GammaSweep, GaeLambdaInterpolatesBetweenTdAndMonteCarlo) {
+  // For any lambda, |A_lambda| is bracketed by neither extreme in general,
+  // but the lambda=0 and lambda=1 cases must match their closed forms and
+  // intermediate lambdas must be finite and episode-respecting.
+  const float gamma = GetParam();
+  const Trajectory t = random_trajectory(25, 17, 0.15);
+  for (float lambda : {0.0f, 0.3f, 0.7f, 0.95f, 1.0f}) {
+    const auto adv =
+        gae_advantages(t.rewards, t.dones, t.values, t.bootstrap, gamma, lambda);
+    for (std::size_t i = 0; i < adv.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(adv[i])) << lambda << " " << i;
+    }
+    // At episode ends the advantage is exactly the TD error with no bootstrap.
+    for (std::size_t i = 0; i < adv.size(); ++i) {
+      if (t.dones[i]) {
+        EXPECT_NEAR(adv[i], t.rewards[i] - t.values[i], 1e-4);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, GammaSweep,
+                         ::testing::Values(0.0f, 0.5f, 0.9f, 0.99f, 1.0f));
+
+TEST(VtraceProperties, ClippingNeverIncreasesCorrectionMagnitude) {
+  const Trajectory t = random_trajectory(20, 23, 0.1);
+  Rng rng(29);
+  std::vector<float> log_rhos(t.rewards.size());
+  for (auto& v : log_rhos) v = static_cast<float>(rng.normal(0.0, 1.5));
+
+  const auto clipped = vtrace(log_rhos, t.rewards, t.dones, t.values,
+                              t.bootstrap, 0.95f, 1.0f, 1.0f);
+  const auto loose = vtrace(log_rhos, t.rewards, t.dones, t.values,
+                            t.bootstrap, 0.95f, 1e6f, 1e6f);
+  // At the terminal step the correction is a single clipped delta, so the
+  // magnitude bound is exact there. (Upstream steps compose corrections
+  // through gamma * c_t * (vs_{t+1} - V_{t+1}), where sign cancellations can
+  // legitimately make the clipped trace larger pointwise.)
+  const std::size_t last = clipped.vs.size() - 1;
+  EXPECT_LE(std::abs(clipped.vs[last] - t.values[last]),
+            std::abs(loose.vs[last] - t.values[last]) + 1e-4);
+  for (std::size_t i = 0; i < clipped.vs.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(clipped.vs[i]));
+    ASSERT_TRUE(std::isfinite(clipped.pg_advantages[i]));
+  }
+}
+
+TEST(VtraceProperties, ZeroRhoFreezesEverything) {
+  // If the target policy never takes the behavior actions (rho -> 0), the
+  // value targets collapse to the current values and the policy gradient
+  // advantages vanish: no learning from irrelevant data.
+  const Trajectory t = random_trajectory(15, 31, 0.1);
+  const std::vector<float> log_rhos(t.rewards.size(), -40.0f);
+  const auto result = vtrace(log_rhos, t.rewards, t.dones, t.values,
+                             t.bootstrap, 0.95f);
+  for (std::size_t i = 0; i < result.vs.size(); ++i) {
+    EXPECT_NEAR(result.vs[i], t.values[i], 1e-4);
+    EXPECT_NEAR(result.pg_advantages[i], 0.0f, 1e-4);
+  }
+}
+
+TEST(VtraceProperties, RewardShiftShiftsTargetsForward) {
+  // Adding a constant to every reward strictly raises every value target
+  // when no dones truncate the trace.
+  Trajectory t = random_trajectory(10, 37, 0.0);
+  std::fill(t.dones.begin(), t.dones.end(), 0);
+  const std::vector<float> log_rhos(t.rewards.size(), 0.0f);
+  const auto base = vtrace(log_rhos, t.rewards, t.dones, t.values,
+                           t.bootstrap, 0.9f);
+  for (auto& r : t.rewards) r += 1.0f;
+  const auto shifted = vtrace(log_rhos, t.rewards, t.dones, t.values,
+                              t.bootstrap, 0.9f);
+  for (std::size_t i = 0; i < base.vs.size(); ++i) {
+    EXPECT_GT(shifted.vs[i], base.vs[i]);
+  }
+}
+
+TEST(GaeProperties, ZeroRewardZeroValueGivesZeroAdvantage) {
+  const std::vector<float> zeros(12, 0.0f);
+  const std::vector<std::uint8_t> dones(12, 0);
+  const auto adv = gae_advantages(zeros, dones, zeros, 0.0f, 0.99f, 0.95f);
+  for (float a : adv) EXPECT_FLOAT_EQ(a, 0.0f);
+}
+
+TEST(GaeProperties, AdvantageIsLinearInRewards) {
+  const Trajectory t = random_trajectory(18, 41, 0.1);
+  const auto adv1 =
+      gae_advantages(t.rewards, t.dones, t.values, t.bootstrap, 0.95f, 0.9f);
+  std::vector<float> doubled = t.rewards;
+  for (auto& r : doubled) r *= 2.0f;
+  const auto adv2 =
+      gae_advantages(doubled, t.dones, t.values, t.bootstrap, 0.95f, 0.9f);
+  // A(2r, V) + A(0, V) == 2 A(r, V) by linearity in r (V fixed).
+  const std::vector<float> zeros(t.rewards.size(), 0.0f);
+  const auto adv0 =
+      gae_advantages(zeros, t.dones, t.values, t.bootstrap, 0.95f, 0.9f);
+  for (std::size_t i = 0; i < adv1.size(); ++i) {
+    EXPECT_NEAR(adv2[i] + adv0[i], 2.0f * adv1[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace xt

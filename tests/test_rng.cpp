@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace xt {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntIsInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, NormalHasUnitMoments) {
+  Rng rng(13);
+  constexpr int kN = 200'000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(17);
+  constexpr int kN = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  constexpr int kN = 100'000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.categorical(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.75, 0.01);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,79 @@
+#include "algo/rollout.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace xt {
+namespace {
+
+RolloutBatch sample_batch(std::size_t steps, std::size_t obs_dim,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  RolloutBatch batch;
+  batch.weights_version = 7;
+  batch.explorer_index = 3;
+  for (std::size_t i = 0; i < steps; ++i) {
+    RolloutStep step;
+    for (std::size_t d = 0; d < obs_dim; ++d) {
+      step.observation.push_back(static_cast<float>(rng.normal()));
+    }
+    step.action = static_cast<std::int32_t>(rng.uniform_index(4));
+    step.reward = static_cast<float>(rng.normal());
+    step.done = rng.bernoulli(0.1);
+    step.behavior_logp = static_cast<float>(-rng.uniform());
+    batch.steps.push_back(std::move(step));
+  }
+  for (std::size_t d = 0; d < obs_dim; ++d) {
+    batch.final_observation.push_back(static_cast<float>(rng.normal()));
+  }
+  return batch;
+}
+
+TEST(Rollout, SerializeRoundTrip) {
+  const RolloutBatch batch = sample_batch(50, 8, 1);
+  const auto restored = RolloutBatch::deserialize(batch.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, batch);
+}
+
+TEST(Rollout, EmptyBatchRoundTrip) {
+  RolloutBatch batch;
+  batch.weights_version = 1;
+  const auto restored = RolloutBatch::deserialize(batch.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->steps.empty());
+  EXPECT_TRUE(restored->final_observation.empty());
+}
+
+TEST(Rollout, LargeBatchRoundTrip) {
+  const RolloutBatch batch = sample_batch(500, 128, 2);
+  const auto restored = RolloutBatch::deserialize(batch.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->steps.size(), 500u);
+  EXPECT_EQ(*restored, batch);
+}
+
+TEST(Rollout, SerializedSizeScalesWithSteps) {
+  const auto small = sample_batch(10, 128, 3).serialize().size();
+  const auto large = sample_batch(100, 128, 3).serialize().size();
+  EXPECT_GT(large, small * 8);
+  EXPECT_LT(large, small * 12);
+}
+
+TEST(Rollout, DeserializeRejectsTruncation) {
+  const Bytes full = sample_batch(20, 8, 4).serialize();
+  for (std::size_t cut : {0u, 1u, 7u, 50u}) {
+    if (cut >= full.size()) continue;
+    Bytes truncated(full.begin(), full.begin() + cut);
+    EXPECT_FALSE(RolloutBatch::deserialize(truncated).has_value()) << cut;
+  }
+}
+
+TEST(Rollout, DeserializeRejectsGarbage) {
+  Bytes garbage(64, 0xFF);
+  EXPECT_FALSE(RolloutBatch::deserialize(garbage).has_value());
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,60 @@
+#include "envs/timed_env.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "envs/cartpole.h"
+#include "envs/registry.h"
+
+namespace xt {
+namespace {
+
+TEST(TimedEnv, ForwardsInterface) {
+  TimedEnv env(std::make_unique<CartPole>(), 0);
+  EXPECT_EQ(env.observation_dim(), 4u);
+  EXPECT_EQ(env.action_count(), 2);
+  EXPECT_EQ(env.name(), "CartPole");
+}
+
+TEST(TimedEnv, DynamicsMatchInnerEnvironment) {
+  TimedEnv timed(std::make_unique<CartPole>(), 0);
+  CartPole plain;
+  EXPECT_EQ(timed.reset(3), plain.reset(3));
+  for (int i = 0; i < 20; ++i) {
+    const auto a = timed.step(i % 2);
+    const auto b = plain.step(i % 2);
+    EXPECT_EQ(a.observation, b.observation);
+    EXPECT_EQ(a.done, b.done);
+    if (a.done) break;
+  }
+}
+
+TEST(TimedEnv, StepsTakeAtLeastTheConfiguredDelay) {
+  TimedEnv env(std::make_unique<CartPole>(), 2'000'000);  // 2 ms
+  (void)env.reset(1);
+  const Stopwatch clock;
+  for (int i = 0; i < 5; ++i) (void)env.step(0);
+  EXPECT_GE(clock.elapsed_ms(), 9.0);  // >= 5 x ~2 ms
+}
+
+TEST(TimedEnv, ZeroDelayAddsNoMeaningfulOverhead) {
+  TimedEnv env(std::make_unique<CartPole>(), 0);
+  (void)env.reset(1);
+  const Stopwatch clock;
+  for (int i = 0; i < 100; ++i) {
+    if (env.step(0).done) (void)env.reset(2);
+  }
+  EXPECT_LT(clock.elapsed_ms(), 100.0);
+}
+
+TEST(TimedEnv, ComposesWithRegistry) {
+  register_environment("SlowCartPole", [] {
+    return std::make_unique<TimedEnv>(std::make_unique<CartPole>(), 100'000);
+  });
+  auto env = make_environment("SlowCartPole");
+  ASSERT_NE(env, nullptr);
+  EXPECT_EQ(env->reset(1).size(), 4u);
+}
+
+}  // namespace
+}  // namespace xt
