@@ -101,6 +101,9 @@ int main() {
                 xt_report.wall_seconds, pull_report.wall_seconds,
                 saving * 100.0, test_case.paper_saving * 100.0);
 
+    print_time_breakdown("XingTian:", xt_report);
+    print_time_breakdown("Pull:", pull_report);
+
     shape_check(std::string(test_case.name) +
                     ": XingTian finishes the budget faster",
                 xt_report.wall_seconds < pull_report.wall_seconds);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "framework/deployment.h"
 
 namespace xt::bench {
 
@@ -45,6 +46,17 @@ inline void section(const char* name) { std::printf("\n--- %s ---\n", name); }
 inline void shape_check(const std::string& description, bool ok) {
   std::printf("[%s] %s\n", ok ? "SHAPE-OK  " : "SHAPE-FAIL", description.c_str());
   if (!ok) ++g_shape_failures;
+}
+
+/// One-line latency decomposition of a run (paper Figs. 8-10 (b)). All four
+/// means come from the run's telemetry histograms (`xt_explorer_rollout_ms`,
+/// `xt_transmission_ms`, `xt_learner_wait_ms` / `xt_pull_wait_ms`,
+/// `xt_learner_train_ms` / `xt_pull_train_ms`) via RunReport.
+inline void print_time_breakdown(const char* label, const RunReport& report) {
+  std::printf(
+      "  %-10s rollout=%.1fms transmission=%.1fms wait=%.1fms train=%.1fms\n",
+      label, report.mean_rollout_ms, report.mean_transmission_ms,
+      report.mean_wait_ms, report.mean_train_ms);
 }
 
 /// Print the shape summary; returns the process exit code.

@@ -9,20 +9,42 @@
 #include "common/log.h"
 #include "common/thread_util.h"
 #include "envs/registry.h"
+#include "obs/exporters.h"
 
 namespace xt::baselines {
 namespace {
 
 struct DriverState {
+  explicit DriverState(MetricsRegistry& registry)
+      : wait_hist(registry.histogram("xt_pull_wait_ms")),
+        train_hist(registry.histogram("xt_pull_train_ms")),
+        transmission_hist(registry.histogram("xt_pull_transmission_ms")),
+        pulls(registry.counter("xt_pull_messages_total")),
+        pull_bytes(registry.counter("xt_pull_bytes_total")) {}
+
   ThroughputSeries throughput{1.0};
   LatencyRecorder wait_ms;       ///< time blocked pulling rollouts per session
   LatencyRecorder train_ms;
   LatencyRecorder transmission_ms;  ///< per-message pull duration
+  Histogram& wait_hist;             ///< exporter twins of the recorders
+  Histogram& train_hist;
+  Histogram& transmission_hist;
+  Counter& pulls;
+  Counter& pull_bytes;
   std::uint64_t steps_consumed = 0;
   int sessions = 0;
   std::uint64_t rollout_messages = 0;
   std::uint64_t rollout_bytes = 0;
   std::uint64_t weight_broadcasts = 0;
+
+  void add_wait(double ms) {
+    wait_ms.add(ms);
+    wait_hist.observe(ms);
+  }
+  void add_transmission(double ms) {
+    transmission_ms.add(ms);
+    transmission_hist.observe(ms);
+  }
 };
 
 bool goal_reached(const PullDeployment& deployment, const DriverState& state,
@@ -48,6 +70,8 @@ bool goal_reached(const PullDeployment& deployment, const DriverState& state,
 void consume(DriverState& state, Algorithm& algorithm, const Bytes& data) {
   ++state.rollout_messages;
   state.rollout_bytes += data.size();
+  state.pulls.inc();
+  state.pull_bytes.inc(data.size());
   auto batch = RolloutBatch::deserialize(data);
   if (batch) algorithm.prepare_data(std::move(*batch));
 }
@@ -56,7 +80,9 @@ void train_once(DriverState& state, Algorithm& algorithm, const Stopwatch& clock
                 Algorithm::TrainResult& result) {
   Stopwatch train_clock;
   result = algorithm.train();
-  state.train_ms.add(train_clock.elapsed_ms());
+  const double trained_ms = train_clock.elapsed_ms();
+  state.train_ms.add(trained_ms);
+  state.train_hist.observe(trained_ms);
   state.steps_consumed += result.steps_consumed;
   ++state.sessions;
   state.throughput.add(clock.elapsed_s(),
@@ -99,7 +125,10 @@ RunReport run_pullhub(const AlgoSetup& setup, const PullDeployment& deployment) 
     algorithm = make_algorithm(setup, obs_dim, n_actions);
   }
 
-  DriverState state;
+  MetricsRegistry& registry = deployment.metrics != nullptr
+                                  ? *deployment.metrics
+                                  : MetricsRegistry::global();
+  DriverState state(registry);
   const Stopwatch clock;
 
   if (setup.kind == AlgoKind::kPpo || setup.kind == AlgoKind::kA2c) {
@@ -115,10 +144,10 @@ RunReport run_pullhub(const AlgoSetup& setup, const PullDeployment& deployment) 
       for (std::size_t i = 0; i < workers.size(); ++i) {
         Stopwatch pull_clock;
         const Bytes data = workers[i]->sample_get(tickets[i]);
-        state.transmission_ms.add(pull_clock.elapsed_ms());
+        state.add_transmission(pull_clock.elapsed_ms());
         consume(state, *algorithm, data);
       }
-      state.wait_ms.add(wait_clock.elapsed_ms());
+      state.add_wait(wait_clock.elapsed_ms());
       if (!algorithm->ready_to_train()) continue;
 
       Algorithm::TrainResult result;
@@ -157,8 +186,8 @@ RunReport run_pullhub(const AlgoSetup& setup, const PullDeployment& deployment) 
 
       Stopwatch pull_clock;
       const Bytes data = workers[chosen]->sample_get(tickets[chosen]);
-      state.transmission_ms.add(pull_clock.elapsed_ms());
-      state.wait_ms.add(wait_clock.elapsed_ms());
+      state.add_transmission(pull_clock.elapsed_ms());
+      state.add_wait(wait_clock.elapsed_ms());
       consume(state, *algorithm, data);
 
       Algorithm::TrainResult result;
@@ -179,9 +208,9 @@ RunReport run_pullhub(const AlgoSetup& setup, const PullDeployment& deployment) 
       Stopwatch wait_clock;
       Stopwatch pull_clock;
       const Bytes data = worker.sample_get(ticket);
-      state.transmission_ms.add(pull_clock.elapsed_ms());
+      state.add_transmission(pull_clock.elapsed_ms());
       consume(state, *algorithm, data);  // forwards into the replay actor
-      state.wait_ms.add(wait_clock.elapsed_ms());
+      state.add_wait(wait_clock.elapsed_ms());
       if (!algorithm->ready_to_train()) continue;
 
       Algorithm::TrainResult result;
@@ -221,6 +250,7 @@ RunReport run_pullhub(const AlgoSetup& setup, const PullDeployment& deployment) 
   report.rollout_messages = state.rollout_messages;
   report.rollout_bytes = state.rollout_bytes;
   report.weight_broadcasts = state.weight_broadcasts;
+  report.prometheus = prometheus_text(registry);
   return report;
 }
 

@@ -6,6 +6,7 @@
 #include "algo/factory.h"
 #include "baselines/rpc.h"
 #include "framework/deployment.h"
+#include "obs/metrics.h"
 
 namespace xt::baselines {
 
@@ -19,6 +20,11 @@ struct PullDeployment {
   double max_seconds = 0.0;
   double target_return = 0.0;
   int target_return_window = 20;
+
+  /// Registry for the baseline's `xt_pull_*` metrics (null = process global).
+  /// run_pullhub also dumps it into RunReport::prometheus, so XingTian and
+  /// pull-based runs are compared from the same exporter.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Run a full DRL algorithm on the pull-based baseline framework (the

@@ -2,15 +2,60 @@
 
 #include <set>
 
+#include "common/clock.h"
 #include "common/log.h"
 #include "common/thread_util.h"
 
 namespace xt {
+namespace {
+
+/// Warn about drops at most this often (satellite: no per-message spam).
+constexpr std::int64_t kDropWarnIntervalNs = 5'000'000'000;  // 5 s
+
+std::string machine_label(const char* base, std::uint16_t machine) {
+  return std::string(base) + "{machine=\"" + std::to_string(machine) + "\"}";
+}
+
+}  // namespace
 
 Broker::Broker(std::uint16_t machine) : Broker(machine, Options{}) {}
 
 Broker::Broker(std::uint16_t machine, Options options)
-    : machine_(machine), options_(std::move(options)) {
+    : machine_(machine),
+      options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? *options_.metrics
+                                           : MetricsRegistry::global()),
+      trace_(options_.trace != nullptr ? options_.trace
+                                       : &TraceCollector::global()),
+      inst_{metrics_.counter(machine_label("xt_broker_routed_total", machine)),
+            metrics_.counter(machine_label("xt_broker_forwarded_total", machine)),
+            metrics_.counter(machine_label("xt_broker_rehosted_total", machine)),
+            metrics_.counter(machine_label("xt_broker_dropped_total", machine)),
+            metrics_.gauge(machine_label("xt_broker_queue_depth", machine)),
+            metrics_.histogram(machine_label("xt_broker_route_ms", machine)),
+            metrics_.histogram(machine_label("xt_queue_wait_ms", machine))} {
+  codec_instruments_.compress_ms =
+      &metrics_.histogram(machine_label("xt_codec_compress_ms", machine));
+  codec_instruments_.decompress_ms =
+      &metrics_.histogram(machine_label("xt_codec_decompress_ms", machine));
+  codec_instruments_.bytes_in =
+      &metrics_.counter(machine_label("xt_codec_bytes_in_total", machine));
+  codec_instruments_.bytes_out =
+      &metrics_.counter(machine_label("xt_codec_bytes_out_total", machine));
+  codec_instruments_.messages_compressed =
+      &metrics_.counter(machine_label("xt_codec_messages_compressed_total", machine));
+
+  StoreInstruments store_instruments;
+  store_instruments.puts =
+      &metrics_.counter(machine_label("xt_store_puts_total", machine));
+  store_instruments.put_bytes =
+      &metrics_.counter(machine_label("xt_store_put_bytes_total", machine));
+  store_instruments.fetches =
+      &metrics_.counter(machine_label("xt_store_fetches_total", machine));
+  store_instruments.live_bytes =
+      &metrics_.gauge(machine_label("xt_store_live_bytes", machine));
+  store_.bind_instruments(store_instruments);
+
   router_ = std::thread([this] {
     set_current_thread_name("router-m" + std::to_string(machine_));
     router_loop();
@@ -44,7 +89,11 @@ void Broker::unregister_endpoint(const NodeId& id) {
 }
 
 bool Broker::submit(MessageHeader header) {
-  return header_queue_.push(std::move(header));
+  const bool accepted = header_queue_.push(std::move(header));
+  if (accepted) {
+    inst_.queue_depth.set(static_cast<double>(header_queue_.size()));
+  }
+  return accepted;
 }
 
 std::uint32_t Broker::expected_fetches(const MessageHeader& header) const {
@@ -68,11 +117,41 @@ void Broker::set_remote_sink(std::uint16_t machine, RemoteSink sink) {
 
 void Broker::router_loop() {
   while (auto header = header_queue_.pop()) {
+    inst_.queue_depth.set(static_cast<double>(header_queue_.size()));
     route(std::move(*header));
+  }
+  inst_.queue_depth.set(0.0);
+}
+
+void Broker::note_drop(const char* reason) {
+  inst_.dropped.inc();
+  bool warn = false;
+  std::uint64_t total = 0;
+  std::uint64_t since = 0;
+  {
+    std::scoped_lock lock(mu_);
+    ++dropped_;
+    total = dropped_;
+    const std::int64_t now = now_ns();
+    if (!warned_once_ || now - last_drop_warn_ns_ >= kDropWarnIntervalNs) {
+      warn = true;
+      warned_once_ = true;
+      since = total - dropped_at_last_warn_;
+      last_drop_warn_ns_ = now;
+      dropped_at_last_warn_ = total;
+    }
+  }
+  if (warn) {
+    XT_LOG_WARN << "broker m" << machine_ << ": dropping messages (" << since
+                << " new, " << total << " total, latest: " << reason << ")";
   }
 }
 
 void Broker::route(MessageHeader header) {
+  const Stopwatch route_clock;
+  TraceScope route_span(trace_, "router.route", "comm", header.trace_id(),
+                        machine_, header.body_size);
+
   // Partition destinations: local endpoints get the header directly through
   // their ID queue; every distinct remote machine gets one forwarded copy of
   // (header, body) through its sink.
@@ -81,6 +160,7 @@ void Broker::route(MessageHeader header) {
     if (dst.machine != machine_) remote_machines.insert(dst.machine);
   }
 
+  const std::int64_t routed_ns = now_ns();
   for (const NodeId& dst : header.dsts) {
     if (dst.machine != machine_) continue;
     std::shared_ptr<IdQueue> queue;
@@ -89,10 +169,11 @@ void Broker::route(MessageHeader header) {
       auto it = endpoints_.find(dst);
       if (it != endpoints_.end()) queue = it->second;
     }
-    if (!queue || !queue->push(header)) {
+    if (!queue || !queue->push(RoutedHeader{header, routed_ns})) {
       store_.release(header.object_id);
-      std::scoped_lock lock(mu_);
-      ++dropped_;
+      note_drop("unknown or closed local destination");
+    } else {
+      inst_.routed.inc();
     }
   }
 
@@ -106,20 +187,23 @@ void Broker::route(MessageHeader header) {
     Payload body = store_.fetch(header.object_id);
     if (!sink || !body) {
       if (body == nullptr) {
-        XT_LOG_WARN << "router: missing body for msg " << header.msg_id;
+        note_drop("missing body for remote forward");
       } else {
         store_.release(header.object_id);
-        XT_LOG_WARN << "router: no sink for machine " << machine;
+        note_drop("no sink for remote machine");
       }
-      std::scoped_lock lock(mu_);
-      ++dropped_;
       continue;
     }
+    inst_.forwarded.inc();
     sink(header, std::move(body));
   }
+
+  inst_.route_ms.observe(route_clock.elapsed_ms());
 }
 
 void Broker::deliver_remote(MessageHeader header, Payload body) {
+  TraceScope rehost_span(trace_, "broker.rehost", "comm", header.trace_id(),
+                         machine_, body->size());
   // Count destinations that live here; the forwarding router already split
   // the message per machine, so remote dsts in the header are not ours.
   std::uint32_t local = 0;
@@ -127,12 +211,13 @@ void Broker::deliver_remote(MessageHeader header, Payload body) {
     if (dst.machine == machine_) ++local;
   }
   if (local == 0) {
-    std::scoped_lock lock(mu_);
-    ++dropped_;
+    note_drop("remote delivery with no local destination");
     return;
   }
   header.object_id = store_.put(std::move(body), local);
+  inst_.rehosted.inc();
 
+  const std::int64_t routed_ns = now_ns();
   for (const NodeId& dst : header.dsts) {
     if (dst.machine != machine_) continue;
     std::shared_ptr<IdQueue> queue;
@@ -141,10 +226,11 @@ void Broker::deliver_remote(MessageHeader header, Payload body) {
       auto it = endpoints_.find(dst);
       if (it != endpoints_.end()) queue = it->second;
     }
-    if (!queue || !queue->push(header)) {
+    if (!queue || !queue->push(RoutedHeader{header, routed_ns})) {
       store_.release(header.object_id);
-      std::scoped_lock lock(mu_);
-      ++dropped_;
+      note_drop("unknown or closed local destination (remote ingress)");
+    } else {
+      inst_.routed.inc();
     }
   }
 }

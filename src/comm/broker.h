@@ -11,12 +11,23 @@
 #include "compress/codec.h"
 #include "comm/message.h"
 #include "comm/object_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xt {
 
+/// What the router puts into a destination's ID queue: the per-destination
+/// header copy plus the router's enqueue timestamp, which gives the
+/// destination-queue-wait hop of the message lifecycle (receiver pop time
+/// minus routed_ns) without growing MessageHeader itself.
+struct RoutedHeader {
+  MessageHeader header;
+  std::int64_t routed_ns = 0;
+};
+
 /// Per-destination queue of message headers ("ID queue" in paper Fig. 2(a)):
 /// the router passes object ids + metadata to each destination process here.
-using IdQueue = BlockingQueue<MessageHeader>;
+using IdQueue = BlockingQueue<RoutedHeader>;
 
 /// Sink for messages leaving this machine; the network simulator implements
 /// it with a bandwidth-paced link whose far end calls deliver_remote() on
@@ -43,6 +54,11 @@ class Broker {
     /// to the paper's measured effective rate (~65 MB/s: 13.8 MB IMPALA
     /// rollouts took 212 ms end to end in XingTian, Fig. 8(b)).
     double ipc_bandwidth_bytes_per_sec = 0.0;
+    /// Telemetry sinks. Null means the process-wide defaults
+    /// (MetricsRegistry::global() / TraceCollector::global()); the runtime
+    /// injects its per-run instances here.
+    MetricsRegistry* metrics = nullptr;
+    TraceCollector* trace = nullptr;
   };
 
   explicit Broker(std::uint16_t machine);
@@ -55,6 +71,16 @@ class Broker {
   [[nodiscard]] std::uint16_t machine() const { return machine_; }
   [[nodiscard]] const Options& options() const { return options_; }
   [[nodiscard]] ObjectStore& store() { return store_; }
+
+  /// Telemetry sinks resolved from Options (never null).
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] TraceCollector* trace() { return trace_; }
+  /// Shared codec hooks for every endpoint on this machine.
+  [[nodiscard]] const CodecInstruments& codec_instruments() const {
+    return codec_instruments_;
+  }
+  /// Destination-queue wait histogram (observed by endpoint receivers).
+  [[nodiscard]] Histogram& queue_wait_histogram() { return inst_.queue_wait_ms; }
 
   /// Register a local endpoint; the returned ID queue is where the router
   /// will deliver headers addressed to `id`. Thread-safe.
@@ -87,14 +113,34 @@ class Broker {
   void stop();
 
   /// Messages that could not be delivered (unknown/closed destination).
+  /// Also surfaced as `xt_broker_dropped_total{machine=...}`.
   [[nodiscard]] std::uint64_t dropped_messages() const;
 
  private:
+  /// Telemetry handles resolved once at construction; hot-path updates are
+  /// atomic adds on these references.
+  struct Instruments {
+    Counter& routed;            ///< headers delivered to local ID queues
+    Counter& forwarded;         ///< bodies forwarded to remote machines
+    Counter& rehosted;          ///< remote bodies re-hosted locally
+    Counter& dropped;
+    Gauge& queue_depth;         ///< router header-queue depth
+    Histogram& route_ms;        ///< one route() pass
+    Histogram& queue_wait_ms;   ///< ID-queue wait (router enqueue -> receiver pop)
+  };
+
   void router_loop();
   void route(MessageHeader header);
+  /// Count a drop everywhere and emit a rate-limited warning (one line per
+  /// warning interval, not one per dropped message).
+  void note_drop(const char* reason);
 
   const std::uint16_t machine_;
   const Options options_;
+  MetricsRegistry& metrics_;
+  TraceCollector* trace_;
+  Instruments inst_;
+  CodecInstruments codec_instruments_;
   ObjectStore store_;
   BlockingQueue<MessageHeader> header_queue_;
 
@@ -102,6 +148,9 @@ class Broker {
   std::unordered_map<NodeId, std::shared_ptr<IdQueue>> endpoints_;
   std::unordered_map<std::uint16_t, RemoteSink> remote_sinks_;
   std::uint64_t dropped_ = 0;
+  std::int64_t last_drop_warn_ns_ = 0;
+  std::uint64_t dropped_at_last_warn_ = 0;
+  bool warned_once_ = false;
 
   std::thread router_;
 };

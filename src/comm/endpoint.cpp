@@ -5,11 +5,36 @@
 #include "common/thread_util.h"
 
 namespace xt {
+namespace {
+
+std::string machine_label(const char* base, std::uint16_t machine) {
+  return std::string(base) + "{machine=\"" + std::to_string(machine) + "\"}";
+}
+
+}  // namespace
 
 Endpoint::Endpoint(NodeId id, Broker& broker, std::size_t send_capacity,
                    std::size_t recv_capacity)
     : id_(id),
       broker_(broker),
+      inst_{broker.metrics().counter(
+                machine_label("xt_messages_sent_total", id.machine)),
+            broker.metrics().counter(
+                machine_label("xt_bytes_sent_total", id.machine)),
+            broker.metrics().counter(
+                machine_label("xt_messages_received_total", id.machine)),
+            broker.metrics().counter(
+                machine_label("xt_bytes_received_total", id.machine)),
+            broker.metrics().counter(
+                machine_label("xt_store_deep_copy_bytes_total", id.machine)),
+            broker.metrics().histogram(
+                machine_label("xt_send_serialize_ms", id.machine)),
+            broker.metrics().histogram(
+                machine_label("xt_store_put_ms", id.machine)),
+            broker.metrics().histogram(
+                machine_label("xt_recv_decode_ms", id.machine)),
+            broker.metrics().histogram(
+                machine_label("xt_transmission_ms", id.machine))},
       id_queue_(broker.register_endpoint(id)),
       send_buffer_(send_capacity),
       recv_buffer_(recv_capacity) {
@@ -47,65 +72,122 @@ std::optional<Message> Endpoint::receive_for(std::chrono::milliseconds timeout) 
 std::optional<Message> Endpoint::try_receive() { return recv_buffer_.try_pop(); }
 
 void Endpoint::sender_loop() {
+  TraceCollector* trace = broker_.trace();
   while (auto outbound = send_buffer_.pop()) {
-    // Deferred serialization runs here, off the workhorse's critical path.
-    Payload body = outbound->producer
-                       ? make_payload(outbound->producer())
-                       : std::move(outbound->body);
-    counters_.bytes_sent.fetch_add(body->size(), std::memory_order_relaxed);
+    MessageHeader header = std::move(outbound->header);
 
-    EncodedBody encoded = maybe_compress(body, broker_.options().compression);
+    // Deferred serialization runs here, off the workhorse's critical path.
+    Payload body;
+    if (outbound->producer) {
+      TraceScope span(trace, "msg.serialize", "comm", header.trace_id(),
+                      id_.machine);
+      const Stopwatch clock;
+      body = make_payload(outbound->producer());
+      inst_.serialize_ms.observe(clock.elapsed_ms());
+      span.set_bytes(body->size());
+    } else {
+      body = std::move(outbound->body);
+    }
+    counters_.bytes_sent.fetch_add(body->size(), std::memory_order_relaxed);
+    inst_.bytes_sent.inc(body->size());
+
+    EncodedBody encoded;
+    {
+      TraceScope span(trace, "msg.compress", "comm", header.trace_id(),
+                      id_.machine, body->size());
+      encoded = maybe_compress(body, broker_.options().compression,
+                               &broker_.codec_instruments());
+    }
 
     // Pay the modeled object-store insertion cost here, on the sender
-    // thread — the workhorse already moved on.
-    const double ipc_bw = broker_.options().ipc_bandwidth_bytes_per_sec;
-    if (ipc_bw > 0.0) {
-      precise_sleep_ns(static_cast<std::int64_t>(
-          static_cast<double>(encoded.data->size()) / ipc_bw * 1e9));
-    }
-
-    MessageHeader header = std::move(outbound->header);
-    header.body_size = encoded.data->size();
-    header.compressed = encoded.compressed;
-    header.uncompressed_size = encoded.uncompressed_size;
-
-    const std::uint32_t fetches = broker_.expected_fetches(header);
-    header.object_id = broker_.store().put(std::move(encoded.data), fetches);
-
-    if (!broker_.submit(header)) {
-      // Broker is shutting down: balance the store references we created.
-      for (std::uint32_t i = 0; i < fetches; ++i) {
-        broker_.store().release(header.object_id);
+    // thread — the workhorse already moved on. The store.put span covers
+    // pacing + insert: together they are the per-message serialize/copy cost
+    // of paper Fig. 8(b).
+    {
+      TraceScope span(trace, "store.put", "comm", header.trace_id(),
+                      id_.machine, encoded.data->size());
+      const Stopwatch clock;
+      const double ipc_bw = broker_.options().ipc_bandwidth_bytes_per_sec;
+      if (ipc_bw > 0.0) {
+        precise_sleep_ns(static_cast<std::int64_t>(
+            static_cast<double>(encoded.data->size()) / ipc_bw * 1e9));
       }
-      continue;
+
+      header.body_size = encoded.data->size();
+      header.compressed = encoded.compressed;
+      header.uncompressed_size = encoded.uncompressed_size;
+
+      const std::uint32_t fetches = broker_.expected_fetches(header);
+      header.object_id = broker_.store().put(std::move(encoded.data), fetches);
+      inst_.store_put_ms.observe(clock.elapsed_ms());
+
+      if (!broker_.submit(header)) {
+        // Broker is shutting down: balance the store references we created.
+        for (std::uint32_t i = 0; i < fetches; ++i) {
+          broker_.store().release(header.object_id);
+        }
+        continue;
+      }
     }
     counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    inst_.messages_sent.inc();
   }
 }
 
 void Endpoint::receiver_loop() {
-  while (auto header = id_queue_->pop()) {
-    Payload stored = broker_.store().fetch(header->object_id);
+  TraceCollector* trace = broker_.trace();
+  while (auto routed = id_queue_->pop()) {
+    MessageHeader header = std::move(routed->header);
+
+    // Destination ID-queue wait: router enqueue -> this pop.
+    if (routed->routed_ns > 0) {
+      const std::int64_t waited_ns = now_ns() - routed->routed_ns;
+      broker_.queue_wait_histogram().observe(ns_to_ms(waited_ns));
+      if (trace != nullptr && trace->enabled()) {
+        TraceSpan span;
+        span.name = "queue.wait";
+        span.category = "comm";
+        span.trace_id = header.trace_id();
+        span.start_ns = routed->routed_ns;
+        span.dur_ns = waited_ns;
+        span.pid = id_.machine;
+        span.bytes = header.body_size;
+        trace->record(span);
+      }
+    }
+
+    TraceScope recv_span(trace, "msg.recv", "comm", header.trace_id(),
+                         id_.machine, header.body_size);
+    const Stopwatch decode_clock;
+    Payload stored = broker_.store().fetch(header.object_id);
     if (!stored) {
-      XT_LOG_WARN << id_.name() << ": body missing for msg " << header->msg_id;
+      XT_LOG_WARN << id_.name() << ": body missing for msg " << header.msg_id;
       continue;
     }
     if (broker_.options().deep_copy_store) {
       // Ablation: pay the copy that the zero-copy object store avoids.
       stored = make_payload(Bytes(*stored));
+      inst_.deep_copy_bytes.inc(stored->size());
     }
-    auto body = maybe_decompress(stored, header->compressed,
-                                 header->uncompressed_size);
+    auto body = maybe_decompress(stored, header.compressed,
+                                 header.uncompressed_size,
+                                 &broker_.codec_instruments());
     if (!body) {
-      XT_LOG_ERROR << id_.name() << ": corrupt body for msg " << header->msg_id;
+      XT_LOG_ERROR << id_.name() << ": corrupt body for msg " << header.msg_id;
       continue;
     }
+    inst_.recv_decode_ms.observe(decode_clock.elapsed_ms());
+    recv_span.finish();
+
     counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
     counters_.bytes_received.fetch_add((*body)->size(), std::memory_order_relaxed);
+    inst_.messages_received.inc();
+    inst_.bytes_received.inc((*body)->size());
+    inst_.transmission_ms.observe(ns_to_ms(now_ns() - header.created_ns));
     if (latency_recorder_ != nullptr) {
-      latency_recorder_->add(ns_to_ms(now_ns() - header->created_ns));
+      latency_recorder_->add(ns_to_ms(now_ns() - header.created_ns));
     }
-    recv_buffer_.push(Message{std::move(*header), std::move(*body)});
+    recv_buffer_.push(Message{std::move(header), std::move(*body)});
   }
 }
 

@@ -75,11 +75,26 @@ class Endpoint {
   void stop();
 
  private:
+  /// Per-machine telemetry handles (shared by every endpoint on the broker's
+  /// machine), resolved once at construction.
+  struct Instruments {
+    Counter& messages_sent;
+    Counter& bytes_sent;
+    Counter& messages_received;
+    Counter& bytes_received;
+    Counter& deep_copy_bytes;       ///< ablation-only copies
+    Histogram& serialize_ms;        ///< deferred producer on the sender thread
+    Histogram& store_put_ms;        ///< modeled IPC pacing + store insert
+    Histogram& recv_decode_ms;      ///< fetch + decompress on the receiver thread
+    Histogram& transmission_ms;     ///< message created -> receive buffer
+  };
+
   void sender_loop();
   void receiver_loop();
 
   const NodeId id_;
   Broker& broker_;
+  Instruments inst_;
   std::shared_ptr<IdQueue> id_queue_;
 
   BlockingQueue<Outbound> send_buffer_;

@@ -35,6 +35,12 @@ struct MessageHeader {
   std::uint64_t uncompressed_size = 0;
   std::int64_t created_ns = 0;  ///< when the workhorse produced the message
   std::uint32_t tag = 0;        ///< free-form (e.g. training iteration, PBT rank)
+
+  /// Trace id stitching this message's lifecycle spans together across hops
+  /// and machines. Deliberately aliased to the process-unique msg_id so
+  /// enabling tracing adds zero bytes to the header (and zero copy cost per
+  /// destination).
+  [[nodiscard]] std::uint64_t trace_id() const { return msg_id; }
 };
 
 /// A full message as seen by workhorse threads: header + immutable body.

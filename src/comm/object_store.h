@@ -5,8 +5,18 @@
 #include <unordered_map>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace xt {
+
+/// Optional telemetry hooks for an ObjectStore. All pointers may be null;
+/// the owning Broker binds them before any endpoint can touch the store.
+struct StoreInstruments {
+  Counter* puts = nullptr;        ///< bodies inserted
+  Counter* put_bytes = nullptr;   ///< bytes inserted
+  Counter* fetches = nullptr;     ///< per-destination fetches
+  Gauge* live_bytes = nullptr;    ///< bytes currently resident
+};
 
 /// The shared-memory communicator's object store (paper Section 3.2.1).
 ///
@@ -21,6 +31,12 @@ class ObjectStore {
   ObjectStore() = default;
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Install telemetry hooks. Must be called before the store is shared
+  /// across threads (the owning Broker does this during construction).
+  void bind_instruments(const StoreInstruments& instruments) {
+    instruments_ = instruments;
+  }
 
   /// Insert a body; `expected_fetches` is the number of destinations that
   /// will fetch it (>=1). Returns the object id to put in the header.
@@ -48,6 +64,7 @@ class ObjectStore {
   std::unordered_map<std::uint64_t, Entry> objects_;
   std::uint64_t next_id_ = 1;
   std::size_t live_bytes_ = 0;
+  StoreInstruments instruments_;
 };
 
 }  // namespace xt

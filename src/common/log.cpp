@@ -1,6 +1,5 @@
 #include "common/log.h"
 
-#include <atomic>
 #include <cstdio>
 #include <mutex>
 
@@ -8,10 +7,14 @@
 #include "common/thread_util.h"
 
 namespace xt {
+namespace detail {
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+}  // namespace detail
+
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mu;
+std::atomic<std::uint64_t> g_warn_count{0};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,12 +28,17 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) { detail::g_log_level.store(level); }
 
-LogLevel log_level() { return g_level.load(); }
+std::uint64_t log_warning_count() {
+  return g_warn_count.load(std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level.load()) return;
+  if (!log_enabled(level)) return;
+  if (level >= LogLevel::kWarn) {
+    g_warn_count.fetch_add(1, std::memory_order_relaxed);
+  }
   const double t = ns_to_s(now_ns());
   std::scoped_lock lock(g_mu);
   std::fprintf(stderr, "[%12.6f] [%s] [%s] %s\n", t, level_name(level),

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -7,13 +9,29 @@ namespace xt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+namespace detail {
+/// Global minimum level, inlined into the XT_LOG_* enabled-check so a
+/// filtered log statement costs one relaxed load + branch and never
+/// constructs the stream or formats its operands.
+extern std::atomic<LogLevel> g_log_level;
+}  // namespace detail
+
 /// Set the global minimum level (default kInfo).
 void set_log_level(LogLevel level);
-[[nodiscard]] LogLevel log_level();
+[[nodiscard]] inline LogLevel log_level() {
+  return detail::g_log_level.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return level >= log_level();
+}
 
 /// Thread-safe line-buffered logging to stderr with a monotonic timestamp
 /// and the current thread's name.
 void log_line(LogLevel level, const std::string& message);
+
+/// Emitted lines at kWarn or above since process start (the
+/// `xt_log_warnings_total` metric; tests assert on deltas of this).
+[[nodiscard]] std::uint64_t log_warning_count();
 
 namespace detail {
 class LogStream {
@@ -30,11 +48,21 @@ class LogStream {
   LogLevel level_;
   std::ostringstream ss_;
 };
+
+/// Swallows the stream in the enabled branch of XT_LOG_AT; the ternary keeps
+/// the macro an expression (no dangling-else hazard in unbraced ifs).
+struct LogVoidify {
+  void operator&(const LogStream&) {}
+};
 }  // namespace detail
 
 }  // namespace xt
 
-#define XT_LOG_DEBUG ::xt::detail::LogStream(::xt::LogLevel::kDebug)
-#define XT_LOG_INFO ::xt::detail::LogStream(::xt::LogLevel::kInfo)
-#define XT_LOG_WARN ::xt::detail::LogStream(::xt::LogLevel::kWarn)
-#define XT_LOG_ERROR ::xt::detail::LogStream(::xt::LogLevel::kError)
+#define XT_LOG_AT(level)                 \
+  !::xt::log_enabled(level) ? (void)0    \
+                            : ::xt::detail::LogVoidify() & ::xt::detail::LogStream(level)
+
+#define XT_LOG_DEBUG XT_LOG_AT(::xt::LogLevel::kDebug)
+#define XT_LOG_INFO XT_LOG_AT(::xt::LogLevel::kInfo)
+#define XT_LOG_WARN XT_LOG_AT(::xt::LogLevel::kWarn)
+#define XT_LOG_ERROR XT_LOG_AT(::xt::LogLevel::kError)

@@ -28,29 +28,59 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 void RunningStat::reset() { *this = RunningStat{}; }
 
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+LatencyRecorder::LatencyRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), rng_state_(0x5EEDC0DEull) {}
+
+void LatencyRecorder::add_locked(double value) {
+  ++n_;
+  sum_ += value;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(value);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: the i-th observation replaces a uniformly random reservoir
+  // slot with probability capacity / i, keeping the sample uniform.
+  const std::uint64_t j = splitmix64(rng_state_) % n_;
+  if (j < capacity_) {
+    samples_[j] = value;
+    sorted_ = false;
+  }
+}
+
 void LatencyRecorder::add(double value) {
   std::scoped_lock lock(mu_);
-  samples_.push_back(value);
-  sorted_ = false;
+  add_locked(value);
 }
 
 void LatencyRecorder::add_batch(const std::vector<double>& values) {
   std::scoped_lock lock(mu_);
-  samples_.insert(samples_.end(), values.begin(), values.end());
-  sorted_ = false;
+  for (double value : values) add_locked(value);
 }
 
 std::size_t LatencyRecorder::count() const {
+  std::scoped_lock lock(mu_);
+  return n_;
+}
+
+std::size_t LatencyRecorder::reservoir_size() const {
   std::scoped_lock lock(mu_);
   return samples_.size();
 }
 
 double LatencyRecorder::mean() const {
   std::scoped_lock lock(mu_);
-  if (samples_.empty()) return 0.0;
-  double s = 0.0;
-  for (double v : samples_) s += v;
-  return s / static_cast<double>(samples_.size());
+  if (n_ == 0) return 0.0;
+  return sum_ / static_cast<double>(n_);
 }
 
 void LatencyRecorder::ensure_sorted_locked() const {

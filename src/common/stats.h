@@ -32,16 +32,32 @@ class RunningStat {
   double sum_ = 0.0;
 };
 
-/// Sample reservoir that can report exact quantiles and a CDF table.
-/// Used for the wait-time CDF of paper Fig. 8(c).
+/// Sample reservoir that can report quantiles and a CDF table. Used for the
+/// wait-time CDF of paper Fig. 8(c).
+///
+/// Below `capacity` samples every observation is kept and quantiles are
+/// exact. Above it, classic reservoir sampling (Vitter's algorithm R, driven
+/// by a deterministic PRNG so reruns reproduce) keeps a uniform sample of
+/// everything seen so far — memory stays bounded on arbitrarily long runs.
+/// count() and mean() remain exact over all observations regardless.
 class LatencyRecorder {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit LatencyRecorder(std::size_t capacity = kDefaultCapacity);
+
   void add(double value);
   void add_batch(const std::vector<double>& values);
 
+  /// Total observations (exact, not capped by the reservoir).
   [[nodiscard]] std::size_t count() const;
+  /// Exact mean over all observations.
   [[nodiscard]] double mean() const;
-  /// q in [0,1]; returns 0 when empty.
+  /// Samples currently held (== count() until the capacity is reached).
+  [[nodiscard]] std::size_t reservoir_size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// q in [0,1]; returns 0 when empty. Exact below capacity, a uniform
+  /// reservoir estimate above.
   [[nodiscard]] double quantile(double q) const;
   /// Fraction of samples <= threshold.
   [[nodiscard]] double fraction_below(double threshold) const;
@@ -49,8 +65,14 @@ class LatencyRecorder {
   [[nodiscard]] std::vector<std::pair<double, double>> cdf(std::size_t points) const;
 
  private:
+  void add_locked(double value);
+
+  const std::size_t capacity_;
   mutable std::mutex mu_;
   mutable std::vector<double> samples_;
+  std::size_t n_ = 0;        ///< total observations
+  double sum_ = 0.0;         ///< exact sum over all observations
+  std::uint64_t rng_state_;  ///< splitmix64, fixed seed => deterministic
   mutable bool sorted_ = true;
   void ensure_sorted_locked() const;
 };

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace xt {
 
@@ -24,14 +25,29 @@ struct EncodedBody {
   std::size_t uncompressed_size = 0;
 };
 
+/// Optional telemetry hooks for the codec: compress/decompress time and the
+/// byte flows that give the compression ratio (`bytes_out / bytes_in`).
+/// All pointers may be null; callers resolve them once from a
+/// MetricsRegistry and pass the same struct per call (hot-path cost is a
+/// null test + atomic adds).
+struct CodecInstruments {
+  Histogram* compress_ms = nullptr;
+  Histogram* decompress_ms = nullptr;
+  Counter* bytes_in = nullptr;              ///< pre-compression body bytes
+  Counter* bytes_out = nullptr;             ///< bytes actually shipped
+  Counter* messages_compressed = nullptr;   ///< bodies that shrank and shipped packed
+};
+
 /// Compress `body` if the policy says so. Falls back to the original bytes
 /// when compression would not shrink them.
 [[nodiscard]] EncodedBody maybe_compress(const Payload& body,
-                                         const CompressionConfig& config);
+                                         const CompressionConfig& config,
+                                         const CodecInstruments* instruments = nullptr);
 
 /// Undo maybe_compress. Returns nullopt on corrupt data.
 [[nodiscard]] std::optional<Payload> maybe_decompress(const Payload& data,
                                                       bool compressed,
-                                                      std::size_t uncompressed_size);
+                                                      std::size_t uncompressed_size,
+                                                      const CodecInstruments* instruments = nullptr);
 
 }  // namespace xt

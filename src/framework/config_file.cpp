@@ -227,6 +227,31 @@ bool apply_deployment_key(LaunchConfig& config, const std::string& key,
     deployment.stats_csv_path = value;
     return true;
   }
+  if (key == "tracing") {
+    bool b = false;
+    if (!parse_bool(value, &b)) return fail(error, line, "bad tracing");
+    deployment.obs.tracing = b;
+    return true;
+  }
+  if (key == "trace_capacity") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad trace_capacity");
+    if (u == 0) return fail(error, line, "bad trace_capacity");
+    deployment.obs.trace_capacity = u;
+    return true;
+  }
+  if (key == "chrome_trace") {
+    deployment.obs.chrome_trace_path = value;
+    return true;
+  }
+  if (key == "prometheus_dump") {
+    deployment.obs.prometheus_path = value;
+    return true;
+  }
+  if (key == "stats_line_every_s") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad stats_line_every_s");
+    deployment.obs.stats_line_every_s = d;
+    return true;
+  }
   return fail(error, line, "unknown [deployment] key '" + key + "'");
 }
 

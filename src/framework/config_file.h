@@ -31,6 +31,10 @@ namespace xt {
 /// target_return = 0
 /// nic_bandwidth_mbps = 118.04
 /// compression = on
+/// tracing = on                    # record message-lifecycle spans
+/// chrome_trace = run_trace.json   # written at end of run
+/// prometheus_dump = run.prom      # final metrics in Prometheus text format
+/// stats_line_every_s = 5          # periodic INFO stats line
 /// ```
 struct LaunchConfig {
   AlgoSetup setup;

@@ -7,8 +7,26 @@
 #include "comm/broker.h"
 #include "common/stats.h"
 #include "netsim/paced_pipe.h"
+#include "obs/trace.h"
 
 namespace xt {
+
+/// Telemetry knobs for a runtime (paper-style "collect and visualize"
+/// duties of the center controller, made first-class).
+struct ObservabilityConfig {
+  /// Record message-lifecycle + app spans into the runtime's TraceCollector.
+  bool tracing = false;
+  /// Ring capacity when tracing (oldest spans are overwritten).
+  std::size_t trace_capacity = TraceCollector::kDefaultCapacity;
+  /// If non-empty, run() writes a Chrome trace_event JSON file here
+  /// (load in Perfetto / chrome://tracing).
+  std::string chrome_trace_path;
+  /// If non-empty, run() writes the final Prometheus text dump here
+  /// (the same text also lands in RunReport::prometheus).
+  std::string prometheus_path;
+  /// If > 0, run() logs a one-line stats summary this often (seconds).
+  double stats_line_every_s = 0.0;
+};
 
 /// The C++ analogue of XingTian's deployment configuration file (paper
 /// Section 3.2.2): which machines exist, how many explorers run on each,
@@ -20,6 +38,7 @@ struct DeploymentConfig {
   std::uint16_t learner_machine = 0;
   LinkConfig link;                 ///< cross-machine NIC characteristics
   Broker::Options broker;          ///< compression / object-store options
+  ObservabilityConfig obs;         ///< metrics / tracing / exporters
 
   /// Bound on each explorer's send buffer (0 = unbounded). A bounded buffer
   /// gives the same backpressure as the Python system's fixed-size plasma
@@ -64,10 +83,12 @@ struct RunReport {
   double avg_throughput = 0.0;
   std::vector<ThroughputSeries::Point> throughput_series;
 
-  // Latency decomposition, milliseconds (paper Figs. 8-10 (b)).
+  // Latency decomposition, milliseconds (paper Figs. 8-10 (b)). Derived
+  // from the runtime's telemetry histograms (see DESIGN.md "Observability").
   double mean_transmission_ms = 0.0;  ///< rollout message created -> recv buffer
   double mean_wait_ms = 0.0;          ///< learner blocked awaiting rollouts
   double mean_train_ms = 0.0;         ///< one training session
+  double mean_rollout_ms = 0.0;       ///< explorer time producing one batch
   /// Replay sampling latency per session (DQN only; 0 otherwise) — the
   /// learner-local vs replay-actor contrast of paper Fig. 9(b).
   double mean_replay_sample_ms = 0.0;
@@ -77,6 +98,9 @@ struct RunReport {
   std::uint64_t rollout_messages = 0;
   std::uint64_t rollout_bytes = 0;
   std::uint64_t weight_broadcasts = 0;
+
+  /// Full Prometheus text-format dump of the run's metrics registry.
+  std::string prometheus;
 };
 
 }  // namespace xt

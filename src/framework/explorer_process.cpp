@@ -18,7 +18,16 @@ ExplorerProcess::ExplorerProcess(NodeId node, std::uint32_t explorer_index,
       stats_every_episodes_(config.stats_every_episodes),
       endpoint_(node, broker, config.explorer_send_capacity),
       env_(std::move(env)),
-      agent_(std::move(agent)) {
+      agent_(std::move(agent)),
+      trace_(broker.trace()),
+      rollout_hist_(broker.metrics().histogram(
+          "xt_explorer_rollout_ms{machine=\"" + std::to_string(node.machine) + "\"}")),
+      wait_weights_hist_(broker.metrics().histogram(
+          "xt_explorer_wait_ms{machine=\"" + std::to_string(node.machine) + "\"}")),
+      env_steps_counter_(broker.metrics().counter(
+          "xt_explorer_env_steps_total{machine=\"" + std::to_string(node.machine) + "\"}")),
+      batches_counter_(broker.metrics().counter(
+          "xt_explorer_batches_total{machine=\"" + std::to_string(node.machine) + "\"}")) {
   worker_ = std::thread([this] {
     set_current_thread_name("work-" + node_.name());
     worker_loop();
@@ -55,18 +64,41 @@ void ExplorerProcess::ship_batch() {
   RolloutBatch batch = agent_->take_batch();
   const std::uint32_t sent_version = batch.weights_version;
   batches_sent_.fetch_add(1, std::memory_order_relaxed);
+  batches_counter_.inc();
 
   // Deferred producer: serialization runs on the sender thread, so the
   // rollout worker goes straight back to interacting with the environment.
   auto shared = std::make_shared<RolloutBatch>(std::move(batch));
-  (void)endpoint_.send(make_deferred_outbound(
+  Outbound out = make_deferred_outbound(
       node_, {learner_}, MsgType::kRollout,
-      [shared] { return shared->serialize(); }, sent_version));
+      [shared] { return shared->serialize(); }, sent_version);
+
+  // The rollout span shares the outgoing message's trace id, so the
+  // environment-interaction phase lines up with the comm lifecycle of the
+  // batch it produced.
+  const std::int64_t now = now_ns();
+  if (rollout_start_ns_ > 0) {
+    rollout_hist_.observe(ns_to_ms(now - rollout_start_ns_));
+    if (trace_ != nullptr && trace_->enabled()) {
+      TraceSpan span;
+      span.name = "explorer.rollout";
+      span.category = "app";
+      span.trace_id = out.header.trace_id();
+      span.start_ns = rollout_start_ns_;
+      span.dur_ns = now - rollout_start_ns_;
+      span.pid = node_.machine;
+      trace_->record(span);
+    }
+  }
+  (void)endpoint_.send(std::move(out));
 
   if (agent_->requires_fresh_weights()) {
     // On-policy (PPO): block this explorer until the learner's next
     // broadcast. Other explorers keep exploring; their transmissions
     // overlap with our waiting (Section 3.2.1).
+    const Stopwatch wait_clock;
+    TraceScope wait_span(trace_, "explorer.wait_weights", "app", 0,
+                         node_.machine);
     while (!stop_.load() && agent_->weights_version() <= sent_version) {
       auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
       if (!msg) continue;
@@ -76,7 +108,10 @@ void ExplorerProcess::ship_batch() {
         stop_.store(true);
       }
     }
+    wait_span.finish();
+    wait_weights_hist_.observe(wait_clock.elapsed_ms());
   }
+  rollout_start_ns_ = now_ns();
 }
 
 void ExplorerProcess::report_episode(double episode_return,
@@ -97,6 +132,7 @@ void ExplorerProcess::report_episode(double episode_return,
 
 void ExplorerProcess::worker_loop() {
   std::uint64_t episode_seed = explorer_index_ * 1'000'003ULL + 17;
+  rollout_start_ns_ = now_ns();
   std::vector<float> obs = env_->reset(episode_seed++);
   double episode_return = 0.0;
   std::uint64_t episode_steps = 0;
@@ -109,6 +145,7 @@ void ExplorerProcess::worker_loop() {
     agent_->handle_env_feedback(obs, action, result.reward, result.done,
                                 result.observation);
     env_steps_.fetch_add(1, std::memory_order_relaxed);
+    env_steps_counter_.inc();
     episode_return += result.reward;
     ++episode_steps;
 

@@ -53,6 +53,14 @@ class ExplorerProcess {
   std::unique_ptr<Environment> env_;
   std::unique_ptr<Agent> agent_;
 
+  // Telemetry (per-machine handles, resolved once at construction).
+  TraceCollector* trace_;
+  Histogram& rollout_hist_;      ///< time spent producing one rollout batch
+  Histogram& wait_weights_hist_; ///< on-policy block for fresh weights
+  Counter& env_steps_counter_;
+  Counter& batches_counter_;
+  std::int64_t rollout_start_ns_ = 0;  ///< worker thread only
+
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> env_steps_{0};
   std::atomic<std::uint64_t> episodes_{0};

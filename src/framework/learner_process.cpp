@@ -15,7 +15,12 @@ LearnerProcess::LearnerProcess(NodeId node, Broker& broker,
       controller_(controller),
       explorers_(std::move(explorers)),
       endpoint_(node, broker),
-      algorithm_(std::move(algorithm)) {
+      algorithm_(std::move(algorithm)),
+      trace_(broker.trace()),
+      wait_hist_(broker.metrics().histogram(
+          "xt_learner_wait_ms{machine=\"" + std::to_string(node.machine) + "\"}")),
+      train_hist_(broker.metrics().histogram(
+          "xt_learner_train_ms{machine=\"" + std::to_string(node.machine) + "\"}")) {
   (void)config;
   endpoint_.set_latency_recorder(&transmission_ms_);
   trainer_ = std::thread([this] {
@@ -92,12 +97,16 @@ void LearnerProcess::trainer_loop() {
     // usually already staged, so the wait is far below the transmission
     // latency of any single message.
     Stopwatch wait_clock;
+    TraceScope wait_span(trace_, "learner.wait", "app", 0, node_.machine);
     while (!algorithm_->ready_to_train() && !stop_.load()) {
       auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
       if (msg && !ingest(std::move(*msg))) break;
     }
     if (stop_.load()) break;
-    wait_ms_.add(wait_clock.elapsed_ms());
+    wait_span.finish();
+    const double waited_ms = wait_clock.elapsed_ms();
+    wait_ms_.add(waited_ms);
+    wait_hist_.observe(waited_ms);
 
     // Aggressively drain everything else that has already arrived.
     while (auto msg = endpoint_.try_receive()) {
@@ -106,8 +115,12 @@ void LearnerProcess::trainer_loop() {
     if (stop_.load()) break;
 
     Stopwatch train_clock;
+    TraceScope train_span(trace_, "learner.train", "app", 0, node_.machine);
     Algorithm::TrainResult result = algorithm_->train();
-    train_ms_.add(train_clock.elapsed_ms());
+    train_span.finish();
+    const double trained_ms = train_clock.elapsed_ms();
+    train_ms_.add(trained_ms);
+    train_hist_.observe(trained_ms);
 
     steps_consumed_.fetch_add(result.steps_consumed, std::memory_order_relaxed);
     sessions_.fetch_add(1, std::memory_order_relaxed);

@@ -63,6 +63,12 @@ class LearnerProcess {
   Endpoint endpoint_;
   std::unique_ptr<Algorithm> algorithm_;
 
+  // Telemetry: histogram twins of the LatencyRecorders below (exported via
+  // Prometheus / the runtime stats line) plus "app"-category trace spans.
+  TraceCollector* trace_;
+  Histogram& wait_hist_;
+  Histogram& train_hist_;
+
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> steps_consumed_{0};
   std::atomic<int> sessions_{0};

@@ -1,20 +1,49 @@
 #include "framework/runtime.h"
 
 #include <cassert>
+#include <fstream>
 
 #include "common/clock.h"
 #include "common/log.h"
 #include "common/thread_util.h"
 #include "envs/registry.h"
+#include "obs/exporters.h"
 #include "serial/record.h"
 
 namespace xt {
+namespace {
+
+/// Mean across every histogram of the family (e.g. all machines' labeled
+/// `xt_explorer_rollout_ms{machine="..."}` series): sum of sums over sum of
+/// counts. 0 when the family has no observations.
+double family_mean(const MetricsRegistry& registry, const std::string& family) {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (name.compare(0, family.size(), family) != 0) continue;
+    if (name.size() > family.size() && name[family.size()] != '{') continue;
+    sum += hist->sum();
+    count += hist->count();
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
 
 XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
     : setup_(std::move(setup)), config_(std::move(config)) {
   const auto n_machines = static_cast<std::uint16_t>(config_.explorers_per_machine.size());
   assert(n_machines >= 1);
   assert(config_.learner_machine < n_machines);
+
+  // Per-runtime telemetry: private registry + trace ring, injected into
+  // every broker below so concurrent runtimes (tests, PBT populations) do
+  // not share metric state through the process globals.
+  metrics_ = std::make_unique<MetricsRegistry>();
+  trace_ = std::make_unique<TraceCollector>(config_.obs.trace_capacity);
+  if (config_.obs.tracing) trace_->enable();
+  config_.broker.metrics = metrics_.get();
+  config_.broker.trace = trace_.get();
 
   // Probe the environment once for network sizing.
   auto probe = make_environment(setup_.env_name);
@@ -151,8 +180,22 @@ RunReport XingTianRuntime::run() {
   ran_ = true;
 
   const Stopwatch clock;
+  double next_stats_line_s = config_.obs.stats_line_every_s;
   while (true) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (config_.obs.stats_line_every_s > 0.0 &&
+        clock.elapsed_s() >= next_stats_line_s) {
+      next_stats_line_s += config_.obs.stats_line_every_s;
+      const double elapsed = clock.elapsed_s();
+      const auto steps = learner_->steps_consumed();
+      XT_LOG_INFO << "stats t=" << elapsed << "s steps=" << steps
+                  << " throughput=" << (elapsed > 0 ? static_cast<double>(steps) / elapsed : 0.0)
+                  << "/s sessions=" << learner_->training_sessions()
+                  << " episodes=" << episodes_reported()
+                  << " wait_ms=" << family_mean(*metrics_, "xt_learner_wait_ms")
+                  << " train_ms=" << family_mean(*metrics_, "xt_learner_train_ms")
+                  << " spans=" << trace_->total_recorded();
+    }
     if (config_.max_steps_consumed > 0 &&
         learner_->steps_consumed() >= config_.max_steps_consumed) {
       break;
@@ -183,9 +226,12 @@ RunReport XingTianRuntime::run() {
   report.episodes = episodes_reported();
   report.avg_throughput = wall > 0 ? static_cast<double>(report.steps_consumed) / wall : 0;
   report.throughput_series = learner_->throughput().series();
+  // The latency decomposition comes from the telemetry histograms; the
+  // learner's LatencyRecorders back the CDF (reservoir of raw samples).
   report.mean_transmission_ms = learner_->transmission_ms().mean();
-  report.mean_wait_ms = learner_->wait_times_ms().mean();
-  report.mean_train_ms = learner_->train_times_ms().mean();
+  report.mean_wait_ms = family_mean(*metrics_, "xt_learner_wait_ms");
+  report.mean_train_ms = family_mean(*metrics_, "xt_learner_train_ms");
+  report.mean_rollout_ms = family_mean(*metrics_, "xt_explorer_rollout_ms");
   if (const LatencyRecorder* sample = learner_->algorithm().replay_sample_latency()) {
     report.mean_replay_sample_ms = sample->mean();
   }
@@ -193,6 +239,30 @@ RunReport XingTianRuntime::run() {
   report.rollout_messages = learner_->rollout_messages();
   report.rollout_bytes = learner_->rollout_bytes();
   report.weight_broadcasts = learner_->weight_broadcasts();
+
+  if (!config_.obs.chrome_trace_path.empty()) {
+    if (write_chrome_trace_file(*trace_, config_.obs.chrome_trace_path)) {
+      XT_LOG_INFO << "wrote chrome trace (" << trace_->size() << " spans) to "
+                  << config_.obs.chrome_trace_path;
+    } else {
+      XT_LOG_WARN << "cannot write chrome trace to "
+                  << config_.obs.chrome_trace_path;
+    }
+  }
+  // Snapshot metrics last: frames still in flight at shutdown are dropped by
+  // the brokers while the report is assembled, and the dump should see them.
+  report.prometheus = prometheus_text(*metrics_);
+  if (!config_.obs.prometheus_path.empty()) {
+    std::ofstream out(config_.obs.prometheus_path);
+    if (out) {
+      out << report.prometheus;
+      XT_LOG_INFO << "wrote prometheus metrics to "
+                  << config_.obs.prometheus_path;
+    } else {
+      XT_LOG_WARN << "cannot write prometheus metrics to "
+                  << config_.obs.prometheus_path;
+    }
+  }
   return report;
 }
 

@@ -14,6 +14,8 @@
 #include "framework/explorer_process.h"
 #include "framework/learner_process.h"
 #include "netsim/fabric.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xt {
 
@@ -43,12 +45,23 @@ class XingTianRuntime {
   [[nodiscard]] double recent_return() const;
   [[nodiscard]] std::uint64_t episodes_reported() const;
 
+  /// This runtime's private telemetry (not the process globals): every
+  /// broker, endpoint, pipe and process of this run records here.
+  [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] TraceCollector& trace() { return *trace_; }
+
  private:
   void controller_loop();
   void broadcast_shutdown();
 
   AlgoSetup setup_;
   DeploymentConfig config_;
+
+  // Created before the brokers: everything downstream holds handles into
+  // these, so they must outlive brokers/endpoints/processes (declaration
+  // order gives reverse destruction).
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TraceCollector> trace_;
 
   std::vector<std::unique_ptr<Broker>> brokers_;
   std::unique_ptr<Fabric> fabric_;

@@ -14,17 +14,25 @@ void Fabric::connect(Broker& a, Broker& b, LinkConfig link) {
 }
 
 void Fabric::connect_one_way(Broker& from, Broker& to, const LinkConfig& link) {
-  auto pipe = std::make_unique<PacedPipe>(
-      "m" + std::to_string(from.machine()) + ">m" + std::to_string(to.machine()),
-      link);
+  const std::string name =
+      "m" + std::to_string(from.machine()) + ">m" + std::to_string(to.machine());
+  const std::string label = "{link=\"" + name + "\"}";
+  PacedPipe::Observability obs;
+  obs.trace = from.trace();
+  obs.transmit_ms = &from.metrics().histogram("xt_pipe_transmit_ms" + label);
+  obs.wire_bytes = &from.metrics().counter("xt_pipe_wire_bytes_total" + label);
+  obs.frames = &from.metrics().counter("xt_pipe_frames_total" + label);
+  obs.pid = from.machine();
+  auto pipe = std::make_unique<PacedPipe>(name, link, obs);
   PacedPipe* raw = pipe.get();
   Broker* target = &to;
   from.set_remote_sink(to.machine(), [raw, target](MessageHeader header, Payload body) {
     const std::size_t wire = body->size();
+    const std::uint64_t trace_id = header.trace_id();
     auto shared_header = std::make_shared<MessageHeader>(std::move(header));
     raw->send(wire, [target, shared_header, body = std::move(body)]() mutable {
       target->deliver_remote(std::move(*shared_header), std::move(body));
-    });
+    }, trace_id);
   });
   std::scoped_lock lock(mu_);
   pipes_.push_back(std::move(pipe));

@@ -8,7 +8,10 @@
 namespace xt {
 
 PacedPipe::PacedPipe(std::string name, LinkConfig config)
-    : name_(std::move(name)), config_(config) {
+    : PacedPipe(std::move(name), config, Observability{}) {}
+
+PacedPipe::PacedPipe(std::string name, LinkConfig config, Observability obs)
+    : name_(std::move(name)), config_(config), obs_(obs) {
   transmitter_ = std::thread([this] {
     set_current_thread_name("pipe-" + name_);
     transmit_loop();
@@ -22,12 +25,16 @@ void PacedPipe::stop() {
   if (transmitter_.joinable()) transmitter_.join();
 }
 
-bool PacedPipe::send(std::size_t wire_bytes, std::function<void()> deliver) {
-  return queue_.push(Frame{wire_bytes, std::move(deliver)});
+bool PacedPipe::send(std::size_t wire_bytes, std::function<void()> deliver,
+                     std::uint64_t trace_id) {
+  return queue_.push(Frame{wire_bytes, std::move(deliver), trace_id});
 }
 
 void PacedPipe::transmit_loop() {
   while (auto frame = queue_.pop()) {
+    TraceScope span(obs_.trace, "pipe.transmit", "comm", frame->trace_id,
+                    obs_.pid, frame->wire_bytes);
+    const Stopwatch clock;
     const double total_bytes =
         static_cast<double>(frame->wire_bytes + config_.frame_overhead_bytes);
     const auto serialize_ns = static_cast<std::int64_t>(
@@ -35,6 +42,12 @@ void PacedPipe::transmit_loop() {
     precise_sleep_ns(serialize_ns + config_.latency_ns);
     bytes_transferred_.fetch_add(frame->wire_bytes, std::memory_order_relaxed);
     frames_transferred_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.wire_bytes != nullptr) obs_.wire_bytes->inc(frame->wire_bytes);
+    if (obs_.frames != nullptr) obs_.frames->inc();
+    if (obs_.transmit_ms != nullptr) {
+      obs_.transmit_ms->observe(clock.elapsed_ms());
+    }
+    span.finish();  // the transmit span ends before the far-end delivery runs
     frame->deliver();
   }
 }

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "common/blocking_queue.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xt {
 
@@ -25,15 +27,28 @@ struct LinkConfig {
 /// blocking exactly as a TCP stream would.
 class PacedPipe {
  public:
+  /// Optional telemetry: the `pipe.transmit` lifecycle span plus bytes/
+  /// frames-on-wire metrics. All pointers may be null.
+  struct Observability {
+    TraceCollector* trace = nullptr;
+    Histogram* transmit_ms = nullptr;  ///< modeled serialize + propagation time
+    Counter* wire_bytes = nullptr;
+    Counter* frames = nullptr;
+    std::uint32_t pid = 0;             ///< span process group (source machine)
+  };
+
   PacedPipe(std::string name, LinkConfig config);
+  PacedPipe(std::string name, LinkConfig config, Observability obs);
   ~PacedPipe();
 
   PacedPipe(const PacedPipe&) = delete;
   PacedPipe& operator=(const PacedPipe&) = delete;
 
   /// Queue a frame of `wire_bytes` for transmission; `deliver` runs once the
-  /// simulated transfer completes. Returns false after stop().
-  bool send(std::size_t wire_bytes, std::function<void()> deliver);
+  /// simulated transfer completes. `trace_id` labels the frame's
+  /// `pipe.transmit` span (0 = untraced). Returns false after stop().
+  bool send(std::size_t wire_bytes, std::function<void()> deliver,
+            std::uint64_t trace_id = 0);
 
   /// Drain and stop the transmit thread (idempotent).
   void stop();
@@ -52,12 +67,14 @@ class PacedPipe {
   struct Frame {
     std::size_t wire_bytes;
     std::function<void()> deliver;
+    std::uint64_t trace_id;
   };
 
   void transmit_loop();
 
   const std::string name_;
   const LinkConfig config_;
+  const Observability obs_;
   BlockingQueue<Frame> queue_;
   std::atomic<std::uint64_t> bytes_transferred_{0};
   std::atomic<std::uint64_t> frames_transferred_{0};

@@ -1,0 +1,184 @@
+#include "obs/exporters.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/log.h"
+
+namespace xt {
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Split `xt_name_total{a="b"}` into ("xt_name_total", "a=\"b\"").
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') return {name, ""};
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+std::string with_label(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return "{" + labels + "," + extra + "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceCollector& collector, std::ostream& os) {
+  const std::vector<TraceSpan> spans = collector.snapshot();
+  const auto thread_names = collector.thread_names();
+
+  std::string out;
+  out.reserve(spans.size() * 160 + 4096);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += event;
+  };
+
+  // Metadata: one "process" per simulated machine, named tracks per thread.
+  std::set<std::uint32_t> pids;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> pid_tids;
+  for (const TraceSpan& span : spans) {
+    pids.insert(span.pid);
+    pid_tids.insert({span.pid, span.tid});
+  }
+  for (std::uint32_t pid : pids) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
+                  "\"tid\":0,\"args\":{\"name\":\"machine-%u\"}}",
+                  pid, pid);
+    emit(buf);
+  }
+  for (const auto& [pid, tid] : pid_tids) {
+    std::string name = "thread-" + std::to_string(tid);
+    for (const auto& [known_tid, known_name] : thread_names) {
+      if (known_tid == tid) {
+        name = known_name;
+        break;
+      }
+    }
+    std::string event = "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+                        std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+                        ",\"args\":{\"name\":\"";
+    append_json_escaped(event, name);
+    event += "\"}}";
+    emit(event);
+  }
+
+  for (const TraceSpan& span : spans) {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%u,"
+        "\"tid\":%" PRIu64 ",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"args\":{\"trace_id\":%" PRIu64 ",\"bytes\":%" PRIu64 "}}",
+        span.name, span.category, span.pid, span.tid,
+        static_cast<double>(span.start_ns) / 1e3,
+        static_cast<double>(span.dur_ns) / 1e3, span.trace_id, span.bytes);
+    emit(buf);
+  }
+
+  out += "\n]}\n";
+  os << out;
+}
+
+bool write_chrome_trace_file(const TraceCollector& collector,
+                             const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_chrome_trace(collector, file);
+  return static_cast<bool>(file);
+}
+
+void write_prometheus_text(const MetricsRegistry& registry, std::ostream& os) {
+  std::string out;
+  std::string last_family;
+
+  auto type_line = [&](const std::string& family, const char* type) {
+    if (family == last_family) return;
+    last_family = family;
+    out += "# TYPE " + family + " " + type + "\n";
+  };
+
+  for (const auto& [name, value] : registry.counters()) {
+    const auto [family, labels] = split_labels(name);
+    type_line(family, "counter");
+    out += family + (labels.empty() ? "" : "{" + labels + "}") + " " +
+           std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    const auto [family, labels] = split_labels(name);
+    type_line(family, "gauge");
+    out += family + (labels.empty() ? "" : "{" + labels + "}") + " " +
+           format_double(value) + "\n";
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const auto [family, labels] = split_labels(name);
+    type_line(family, "histogram");
+    const std::vector<std::uint64_t> counts = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += family + "_bucket" +
+             with_label(labels, "le=\"" + format_double(bounds[i]) + "\"") + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += counts[bounds.size()];
+    out += family + "_bucket" + with_label(labels, "le=\"+Inf\"") + " " +
+           std::to_string(cumulative) + "\n";
+    out += family + "_sum" + (labels.empty() ? "" : "{" + labels + "}") + " " +
+           format_double(histogram->sum()) + "\n";
+    out += family + "_count" + (labels.empty() ? "" : "{" + labels + "}") + " " +
+           std::to_string(histogram->count()) + "\n";
+  }
+
+  // Process-wide logging health: emitted warn/error lines (see common/log.h).
+  out += "# TYPE xt_log_warnings_total counter\n";
+  out += "xt_log_warnings_total " + std::to_string(log_warning_count()) + "\n";
+
+  os << out;
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  write_prometheus_text(registry, os);
+  return os.str();
+}
+
+}  // namespace xt

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xt {
+
+/// Serialize the collector's spans as Chrome trace_event JSON ("X" complete
+/// events plus process/thread name metadata). The output loads directly in
+/// chrome://tracing and Perfetto: one process per simulated machine, one
+/// track per named thread, spans carry trace_id/bytes args.
+void write_chrome_trace(const TraceCollector& collector, std::ostream& os);
+
+/// write_chrome_trace to a file; false if the file cannot be opened.
+bool write_chrome_trace_file(const TraceCollector& collector,
+                             const std::string& path);
+
+/// Render the registry in the Prometheus text exposition format (counters,
+/// gauges, and histograms with `_bucket`/`_sum`/`_count` series). Also
+/// appends the process-wide `xt_log_warnings_total` counter maintained by
+/// the logging layer. Output is sorted by metric name (deterministic).
+void write_prometheus_text(const MetricsRegistry& registry, std::ostream& os);
+
+[[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry);
+
+}  // namespace xt

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace xt {
+
+/// Monotonic counter. Handles returned by MetricsRegistry are stable for the
+/// registry's lifetime, so hot paths hold a `Counter&` and pay one relaxed
+/// atomic add per event.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, resident bytes).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed exponential-bucket histogram. Buckets are chosen at construction
+/// (`first_bound * growth^i` upper bounds plus a +inf overflow bucket);
+/// observe() is two relaxed atomic adds plus a short bound scan, safe from
+/// any thread. Quantiles are estimated by linear interpolation within the
+/// containing bucket — good enough for the paper's latency breakdowns, and
+/// bounded memory unlike a sample log.
+struct HistogramOptions {
+  double first_bound = 0.001;  ///< upper bound of the first bucket
+  double growth = 2.0;         ///< bound ratio between adjacent buckets
+  std::size_t buckets = 28;    ///< finite buckets (+inf bucket is implicit)
+};
+
+class Histogram {
+ public:
+  using Options = HistogramOptions;
+
+  explicit Histogram(const Options& options = Options());
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double mean() const;
+  /// q in [0,1]; bucket-interpolated estimate, 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Finite bucket upper bounds (ascending).
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; has bounds().size() + 1 entries, last is +inf.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Lock-sharded name -> metric registry. Lookup (`counter()` / `gauge()` /
+/// `histogram()`) hashes the name to a shard and takes that shard's mutex
+/// only for the map access; the returned reference stays valid for the
+/// registry's lifetime, so callers resolve handles once and record lock-free
+/// afterwards.
+///
+/// Naming convention: Prometheus-style full names including labels, e.g.
+/// `xt_broker_routed_total{machine="0"}`. The text exporter groups families
+/// by the name before the label block.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// `options` applies only when the histogram does not exist yet.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     const Histogram::Options& options = {});
+
+  /// Snapshots for exporters, sorted by name for deterministic output.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+  /// Process-wide default registry (used when no per-runtime registry is
+  /// injected, e.g. standalone brokers in unit tests).
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& name);
+
+  Shard shards_[kShards];
+};
+
+}  // namespace xt

@@ -33,6 +33,11 @@ compression = on
 compression_threshold_kb = 512
 explorer_send_capacity = 4
 stats_csv = /tmp/run.csv
+tracing = on
+trace_capacity = 4096
+chrome_trace = /tmp/run_trace.json
+prometheus_dump = /tmp/run_metrics.prom
+stats_line_every_s = 2.5
 )";
   std::string error;
   const auto config = parse_launch_config(text, &error);
@@ -58,6 +63,11 @@ stats_csv = /tmp/run.csv
   EXPECT_EQ(config->deployment.broker.compression.threshold_bytes, 512u * 1024);
   EXPECT_EQ(config->deployment.explorer_send_capacity, 4u);
   EXPECT_EQ(config->deployment.stats_csv_path, "/tmp/run.csv");
+  EXPECT_TRUE(config->deployment.obs.tracing);
+  EXPECT_EQ(config->deployment.obs.trace_capacity, 4096u);
+  EXPECT_EQ(config->deployment.obs.chrome_trace_path, "/tmp/run_trace.json");
+  EXPECT_EQ(config->deployment.obs.prometheus_path, "/tmp/run_metrics.prom");
+  EXPECT_DOUBLE_EQ(config->deployment.obs.stats_line_every_s, 2.5);
   // PPO explorer count derived from the deployment.
   EXPECT_EQ(config->setup.ppo.n_explorers, 32u);
 }
@@ -104,6 +114,9 @@ TEST(ConfigFile, RejectsMalformedValues) {
   EXPECT_FALSE(parse_launch_config("[algorithm]\nseed = banana\n"));
   EXPECT_FALSE(parse_launch_config("[algorithm]\nkind = sarsa\n"));
   EXPECT_FALSE(parse_launch_config("[deployment]\ncompression = maybe\n"));
+  EXPECT_FALSE(parse_launch_config("[deployment]\ntracing = maybe\n"));
+  EXPECT_FALSE(parse_launch_config("[deployment]\ntrace_capacity = 0\n"));
+  EXPECT_FALSE(parse_launch_config("[deployment]\nstats_line_every_s = x\n"));
   EXPECT_FALSE(parse_launch_config("[deployment]\nexplorers_per_machine = \n"));
   EXPECT_FALSE(parse_launch_config("[algorithm\nkind = dqn\n"));
   EXPECT_FALSE(parse_launch_config("[algorithm]\nkind dqn\n"));
