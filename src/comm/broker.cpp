@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/clock.h"
+#include "common/crc32.h"
 #include "common/log.h"
 #include "common/thread_util.h"
 
@@ -16,7 +17,26 @@ std::string machine_label(const char* base, std::uint16_t machine) {
   return std::string(base) + "{machine=\"" + std::to_string(machine) + "\"}";
 }
 
+std::string drop_label(std::uint16_t machine, DropReason reason) {
+  return std::string("xt_broker_dropped_total{machine=\"") +
+         std::to_string(machine) + "\",reason=\"" +
+         drop_reason_name(reason) + "\"}";
+}
+
 }  // namespace
+
+const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kUnknownDest: return "unknown_dest";
+    case DropReason::kClosedDest: return "closed_dest";
+    case DropReason::kCrcFail: return "crc_fail";
+    case DropReason::kNoSink: return "no_sink";
+    case DropReason::kMissingBody: return "missing_body";
+    case DropReason::kNoLocalDest: return "no_local_dest";
+    case DropReason::kCount: break;
+  }
+  return "unknown";
+}
 
 Broker::Broker(std::uint16_t machine) : Broker(machine, Options{}) {}
 
@@ -33,7 +53,13 @@ Broker::Broker(std::uint16_t machine, Options options)
             metrics_.counter(machine_label("xt_broker_dropped_total", machine)),
             metrics_.gauge(machine_label("xt_broker_queue_depth", machine)),
             metrics_.histogram(machine_label("xt_broker_route_ms", machine)),
-            metrics_.histogram(machine_label("xt_queue_wait_ms", machine))} {
+            metrics_.histogram(machine_label("xt_queue_wait_ms", machine)),
+            metrics_.counter(
+                machine_label("xt_frames_corrupted_total", machine))} {
+  for (std::size_t i = 0; i < drop_by_reason_.size(); ++i) {
+    drop_by_reason_[i] =
+        &metrics_.counter(drop_label(machine, static_cast<DropReason>(i)));
+  }
   codec_instruments_.compress_ms =
       &metrics_.histogram(machine_label("xt_codec_compress_ms", machine));
   codec_instruments_.decompress_ms =
@@ -123,8 +149,9 @@ void Broker::router_loop() {
   inst_.queue_depth.set(0.0);
 }
 
-void Broker::note_drop(const char* reason) {
+void Broker::note_drop(DropReason reason) {
   inst_.dropped.inc();
+  drop_by_reason_[static_cast<std::size_t>(reason)]->inc();
   bool warn = false;
   std::uint64_t total = 0;
   std::uint64_t since = 0;
@@ -143,7 +170,8 @@ void Broker::note_drop(const char* reason) {
   }
   if (warn) {
     XT_LOG_WARN << "broker m" << machine_ << ": dropping messages (" << since
-                << " new, " << total << " total, latest: " << reason << ")";
+                << " new, " << total
+                << " total, latest: " << drop_reason_name(reason) << ")";
   }
 }
 
@@ -169,9 +197,12 @@ void Broker::route(MessageHeader header) {
       auto it = endpoints_.find(dst);
       if (it != endpoints_.end()) queue = it->second;
     }
-    if (!queue || !queue->push(RoutedHeader{header, routed_ns})) {
+    if (!queue) {
       store_.release(header.object_id);
-      note_drop("unknown or closed local destination");
+      note_drop(DropReason::kUnknownDest);
+    } else if (!queue->push(RoutedHeader{header, routed_ns})) {
+      store_.release(header.object_id);
+      note_drop(DropReason::kClosedDest);
     } else {
       inst_.routed.inc();
     }
@@ -187,10 +218,10 @@ void Broker::route(MessageHeader header) {
     Payload body = store_.fetch(header.object_id);
     if (!sink || !body) {
       if (body == nullptr) {
-        note_drop("missing body for remote forward");
+        note_drop(DropReason::kMissingBody);
       } else {
         store_.release(header.object_id);
-        note_drop("no sink for remote machine");
+        note_drop(DropReason::kNoSink);
       }
       continue;
     }
@@ -201,9 +232,17 @@ void Broker::route(MessageHeader header) {
   inst_.route_ms.observe(route_clock.elapsed_ms());
 }
 
-void Broker::deliver_remote(MessageHeader header, Payload body) {
+bool Broker::deliver_remote(MessageHeader header, Payload body) {
   TraceScope rehost_span(trace_, "broker.rehost", "comm", header.trace_id(),
                          machine_, body->size());
+  // Integrity gate: a header that carries a CRC was stamped on the sending
+  // machine before the (possibly lossy) wire; a mismatch here means the
+  // frame was corrupted in transit and must not reach a workhorse.
+  if (header.crc_present && crc32(*body) != header.body_crc) {
+    inst_.corrupted.inc();
+    note_drop(DropReason::kCrcFail);
+    return false;
+  }
   // Count destinations that live here; the forwarding router already split
   // the message per machine, so remote dsts in the header are not ours.
   std::uint32_t local = 0;
@@ -211,8 +250,8 @@ void Broker::deliver_remote(MessageHeader header, Payload body) {
     if (dst.machine == machine_) ++local;
   }
   if (local == 0) {
-    note_drop("remote delivery with no local destination");
-    return;
+    note_drop(DropReason::kNoLocalDest);
+    return true;
   }
   header.object_id = store_.put(std::move(body), local);
   inst_.rehosted.inc();
@@ -226,18 +265,31 @@ void Broker::deliver_remote(MessageHeader header, Payload body) {
       auto it = endpoints_.find(dst);
       if (it != endpoints_.end()) queue = it->second;
     }
-    if (!queue || !queue->push(RoutedHeader{header, routed_ns})) {
+    if (!queue) {
       store_.release(header.object_id);
-      note_drop("unknown or closed local destination (remote ingress)");
+      note_drop(DropReason::kUnknownDest);
+    } else if (!queue->push(RoutedHeader{header, routed_ns})) {
+      store_.release(header.object_id);
+      note_drop(DropReason::kClosedDest);
     } else {
       inst_.routed.inc();
     }
   }
+  return true;
 }
 
 std::uint64_t Broker::dropped_messages() const {
   std::scoped_lock lock(mu_);
   return dropped_;
+}
+
+std::uint64_t Broker::dropped_messages(DropReason reason) const {
+  return static_cast<std::uint64_t>(
+      drop_by_reason_[static_cast<std::size_t>(reason)]->value());
+}
+
+std::uint64_t Broker::corrupted_frames() const {
+  return static_cast<std::uint64_t>(inst_.corrupted.value());
 }
 
 }  // namespace xt

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -33,6 +34,21 @@ using IdQueue = BlockingQueue<RoutedHeader>;
 /// it with a bandwidth-paced link whose far end calls deliver_remote() on
 /// the target machine's broker.
 using RemoteSink = std::function<void(MessageHeader, Payload)>;
+
+/// Why the broker refused to deliver a message. Each reason has its own
+/// `xt_broker_dropped_total{machine=...,reason=...}` counter so chaos runs
+/// can tell integrity rejects from routing failures at a glance.
+enum class DropReason : std::uint8_t {
+  kUnknownDest = 0,   ///< destination was never registered
+  kClosedDest = 1,    ///< destination queue closed (endpoint shut down)
+  kCrcFail = 2,       ///< cross-machine frame failed its CRC check
+  kNoSink = 3,        ///< no forwarding sink for the destination machine
+  kMissingBody = 4,   ///< object store had no body for a remote forward
+  kNoLocalDest = 5,   ///< remote delivery addressed nothing on this machine
+  kCount,
+};
+
+[[nodiscard]] const char* drop_reason_name(DropReason reason);
 
 /// The broker process (paper Section 3.2.1): owns the shared-memory
 /// communicator (header queue + object store) and runs the
@@ -104,17 +120,30 @@ class Broker {
   /// Install the forwarding sink toward another machine's broker.
   void set_remote_sink(std::uint16_t machine, RemoteSink sink);
 
-  /// Ingress path for messages arriving from another machine: re-hosts the
-  /// body in the local object store and fans the header out to local ID
-  /// queues. Local workhorses never perceive the difference (Section 3.2.1).
-  void deliver_remote(MessageHeader header, Payload body);
+  /// Ingress path for messages arriving from another machine: verifies the
+  /// body CRC when the header carries one, re-hosts the body in the local
+  /// object store, and fans the header out to local ID queues. Local
+  /// workhorses never perceive the difference (Section 3.2.1).
+  /// Returns false only on an integrity reject (CRC mismatch) — the signal
+  /// a reliable link uses to withhold its ack so the sender retransmits.
+  /// Routing drops (no local destination, closed queue) still return true:
+  /// the frame arrived intact, retransmitting it cannot help.
+  bool deliver_remote(MessageHeader header, Payload body);
 
   /// Stop the router thread (idempotent). In-flight headers are drained.
   void stop();
 
-  /// Messages that could not be delivered (unknown/closed destination).
-  /// Also surfaced as `xt_broker_dropped_total{machine=...}`.
+  /// Messages that could not be delivered (any reason). Also surfaced as
+  /// `xt_broker_dropped_total{machine=...}` plus per-reason counters
+  /// `xt_broker_dropped_total{machine=...,reason=...}`.
   [[nodiscard]] std::uint64_t dropped_messages() const;
+
+  /// Drops attributed to one specific reason.
+  [[nodiscard]] std::uint64_t dropped_messages(DropReason reason) const;
+
+  /// Cross-machine frames rejected by the CRC check (a subset of drops,
+  /// also `xt_frames_corrupted_total{machine=...}`).
+  [[nodiscard]] std::uint64_t corrupted_frames() const;
 
  private:
   /// Telemetry handles resolved once at construction; hot-path updates are
@@ -127,19 +156,22 @@ class Broker {
     Gauge& queue_depth;         ///< router header-queue depth
     Histogram& route_ms;        ///< one route() pass
     Histogram& queue_wait_ms;   ///< ID-queue wait (router enqueue -> receiver pop)
+    Counter& corrupted;         ///< CRC-failed cross-machine frames
   };
 
   void router_loop();
   void route(MessageHeader header);
-  /// Count a drop everywhere and emit a rate-limited warning (one line per
-  /// warning interval, not one per dropped message).
-  void note_drop(const char* reason);
+  /// Count a drop (total + per-reason) and emit a rate-limited warning (one
+  /// line per warning interval, not one per dropped message).
+  void note_drop(DropReason reason);
 
   const std::uint16_t machine_;
   const Options options_;
   MetricsRegistry& metrics_;
   TraceCollector* trace_;
   Instruments inst_;
+  std::array<Counter*, static_cast<std::size_t>(DropReason::kCount)>
+      drop_by_reason_{};
   CodecInstruments codec_instruments_;
   ObjectStore store_;
   BlockingQueue<MessageHeader> header_queue_;

@@ -19,6 +19,7 @@ enum class MsgType : std::uint8_t {
   kStats = 2,     ///< any -> center controller: metrics
   kCommand = 3,   ///< controller -> any: lifecycle control
   kDummy = 4,     ///< the dummy DRL algorithm of Section 5.1
+  kHeartbeat = 5, ///< worker -> controller: liveness beacon (empty body)
 };
 
 /// Lightweight metadata that travels through header/ID queues. Bodies move
@@ -35,6 +36,15 @@ struct MessageHeader {
   std::uint64_t uncompressed_size = 0;
   std::int64_t created_ns = 0;  ///< when the workhorse produced the message
   std::uint32_t tag = 0;        ///< free-form (e.g. training iteration, PBT rank)
+
+  /// Wire integrity: CRC-32 of the body, stamped by the sending fabric when
+  /// the link has fault injection enabled (or reliability on) and verified
+  /// by Broker::deliver_remote on the receiving machine. Local (same-broker)
+  /// traffic never pays for it — shared memory cannot corrupt in this model.
+  std::uint32_t body_crc = 0;
+  bool crc_present = false;
+  /// Per-link sequence number assigned by the reliable channel (0 = none).
+  std::uint64_t link_seq = 0;
 
   /// Trace id stitching this message's lifecycle spans together across hops
   /// and machines. Deliberately aliased to the process-unique msg_id so

@@ -9,6 +9,11 @@ namespace xt {
 namespace {
 constexpr std::uint32_t kMagic = 0x50435458;  // "XTCP" little-endian
 constexpr std::uint32_t kFormatVersion = 1;
+/// magic + format + weights_version + steps + payload length prefix: any
+/// readable checkpoint is at least this long, so shorter files (including
+/// the magic-only stubs an interrupted v0 writer could leave behind) are
+/// rejected before parsing.
+constexpr std::size_t kMinFileBytes = 4 + 4 + 4 + 8 + 8;
 }  // namespace
 
 Checkpointer::Checkpointer(std::string path, std::uint32_t every_versions)
@@ -64,6 +69,12 @@ std::optional<Checkpointer::Snapshot> Checkpointer::load(const std::string& path
   }
   std::fclose(file);
 
+  if (data.size() < kMinFileBytes) {
+    XT_LOG_WARN << "checkpoint: " << path << " too small (" << data.size()
+                << " bytes), rejecting";
+    return std::nullopt;
+  }
+
   BinReader r(data);
   auto magic = r.u32();
   auto format = r.u32();
@@ -72,6 +83,14 @@ std::optional<Checkpointer::Snapshot> Checkpointer::load(const std::string& path
   auto weights = r.bytes();
   if (!magic || *magic != kMagic || !format || *format != kFormatVersion ||
       !version || !steps || !weights) {
+    return std::nullopt;
+  }
+  // The payload length prefix must account for the file exactly: a reader
+  // with leftover bytes means the length was short (truncated rewrite,
+  // concatenated garbage) and the weights cannot be trusted.
+  if (!r.exhausted()) {
+    XT_LOG_WARN << "checkpoint: " << path << " has " << r.remaining()
+                << " trailing byte(s), rejecting";
     return std::nullopt;
   }
   return Snapshot{std::move(*weights), *version, *steps};

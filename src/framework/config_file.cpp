@@ -255,6 +255,120 @@ bool apply_deployment_key(LaunchConfig& config, const std::string& key,
   return fail(error, line, "unknown [deployment] key '" + key + "'");
 }
 
+bool apply_faults_key(LaunchConfig& config, const std::string& key,
+                      const std::string& value, int line, std::string* error) {
+  DeploymentConfig& deployment = config.deployment;
+  FaultPlan& faults = deployment.link.faults;
+  double d = 0.0;
+  std::uint64_t u = 0;
+  bool b = false;
+  if (key == "seed") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad seed");
+    faults.seed = u;
+    return true;
+  }
+  if (key == "drop_prob") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad drop_prob");
+    faults.drop_probability = d;
+    return true;
+  }
+  if (key == "corrupt_prob") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad corrupt_prob");
+    faults.corrupt_probability = d;
+    return true;
+  }
+  if (key == "delay_prob") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad delay_prob");
+    faults.delay_probability = d;
+    return true;
+  }
+  if (key == "delay_ms") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad delay_ms");
+    faults.delay_ns = static_cast<std::int64_t>(d * 1e6);
+    return true;
+  }
+  if (key == "blackout_start_s") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad blackout_start_s");
+    faults.blackout_start_s = d;
+    return true;
+  }
+  if (key == "blackout_duration_s") {
+    if (!parse_double(value, &d)) {
+      return fail(error, line, "bad blackout_duration_s");
+    }
+    faults.blackout_duration_s = d;
+    return true;
+  }
+  if (key == "blackout_every_s") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad blackout_every_s");
+    faults.blackout_every_s = d;
+    return true;
+  }
+  if (key == "reliable") {
+    if (!parse_bool(value, &b)) return fail(error, line, "bad reliable");
+    deployment.reliability.enabled = b;
+    return true;
+  }
+  if (key == "retransmit_timeout_ms") {
+    if (!parse_double(value, &d)) {
+      return fail(error, line, "bad retransmit_timeout_ms");
+    }
+    deployment.reliability.rto_ms = d;
+    return true;
+  }
+  if (key == "retransmit_backoff") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad retransmit_backoff");
+    deployment.reliability.backoff = d;
+    return true;
+  }
+  if (key == "retransmit_max_ms") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad retransmit_max_ms");
+    deployment.reliability.max_rto_ms = d;
+    return true;
+  }
+  if (key == "retransmit_max_retries") {
+    if (!parse_u64(value, &u)) {
+      return fail(error, line, "bad retransmit_max_retries");
+    }
+    deployment.reliability.max_retries = static_cast<std::uint32_t>(u);
+    return true;
+  }
+  if (key == "supervision") {
+    if (!parse_bool(value, &b)) return fail(error, line, "bad supervision");
+    deployment.supervision.enabled = b;
+    return true;
+  }
+  if (key == "heartbeat_every_s") {
+    if (!parse_double(value, &d)) return fail(error, line, "bad heartbeat_every_s");
+    deployment.supervision.heartbeat_every_s = d;
+    return true;
+  }
+  if (key == "heartbeat_timeout_s") {
+    if (!parse_double(value, &d)) {
+      return fail(error, line, "bad heartbeat_timeout_s");
+    }
+    deployment.supervision.heartbeat_timeout_s = d;
+    return true;
+  }
+  if (key == "max_worker_restarts") {
+    if (!parse_u64(value, &u)) return fail(error, line, "bad max_worker_restarts");
+    deployment.supervision.max_restarts_per_worker = static_cast<std::uint32_t>(u);
+    return true;
+  }
+  if (key == "checkpoint") {
+    deployment.checkpoint_path = value;
+    return true;
+  }
+  if (key == "checkpoint_every_versions") {
+    if (!parse_u64(value, &u)) {
+      return fail(error, line, "bad checkpoint_every_versions");
+    }
+    deployment.checkpoint_every_versions = static_cast<std::uint32_t>(u);
+    return true;
+  }
+  return fail(error, line, "unknown [faults] key '" + key + "'");
+}
+
 }  // namespace
 
 std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
@@ -278,7 +392,8 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
         return std::nullopt;
       }
       section = text.substr(1, text.size() - 2);
-      if (section != "algorithm" && section != "deployment") {
+      if (section != "algorithm" && section != "deployment" &&
+          section != "faults") {
         fail(error, line, "unknown section [" + section + "]");
         return std::nullopt;
       }
@@ -296,9 +411,14 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       fail(error, line, "key outside any section");
       return std::nullopt;
     }
-    const bool ok = section == "algorithm"
-                        ? apply_algorithm_key(config, key, value, line, error)
-                        : apply_deployment_key(config, key, value, line, error);
+    bool ok = false;
+    if (section == "algorithm") {
+      ok = apply_algorithm_key(config, key, value, line, error);
+    } else if (section == "deployment") {
+      ok = apply_deployment_key(config, key, value, line, error);
+    } else {
+      ok = apply_faults_key(config, key, value, line, error);
+    }
     if (!ok) return std::nullopt;
   }
 

@@ -35,6 +35,27 @@ namespace xt {
 /// chrome_trace = run_trace.json   # written at end of run
 /// prometheus_dump = run.prom      # final metrics in Prometheus text format
 /// stats_line_every_s = 5          # periodic INFO stats line
+///
+/// [faults]                        # chaos fabric + self-healing (all optional)
+/// seed = 11                       # deterministic fault schedule
+/// drop_prob = 0.01                # per-frame drop probability
+/// corrupt_prob = 0.01             # per-frame byte-flip probability
+/// delay_prob = 0.0                # per-frame latency-spike probability
+/// delay_ms = 0                    # spike size
+/// blackout_start_s = 0            # scheduled outage window(s)
+/// blackout_duration_s = 0
+/// blackout_every_s = 0
+/// reliable = on                   # ack/retransmit on cross-machine links
+/// retransmit_timeout_ms = 50      # initial RTO (exponential backoff)
+/// retransmit_backoff = 2
+/// retransmit_max_ms = 2000
+/// retransmit_max_retries = 12
+/// supervision = on                # heartbeats + worker respawn
+/// heartbeat_every_s = 0.25
+/// heartbeat_timeout_s = 1.5
+/// max_worker_restarts = 3
+/// checkpoint = run.ckpt           # learner checkpoint (restore on respawn)
+/// checkpoint_every_versions = 25
 /// ```
 struct LaunchConfig {
   AlgoSetup setup;

@@ -6,7 +6,9 @@
 
 #include "comm/broker.h"
 #include "common/stats.h"
+#include "framework/supervisor.h"
 #include "netsim/paced_pipe.h"
+#include "netsim/reliable_link.h"
 #include "obs/trace.h"
 
 namespace xt {
@@ -37,8 +39,17 @@ struct DeploymentConfig {
   std::vector<int> explorers_per_machine = {4};
   std::uint16_t learner_machine = 0;
   LinkConfig link;                 ///< cross-machine NIC characteristics
+                                   ///< (incl. the chaos FaultPlan, link.faults)
   Broker::Options broker;          ///< compression / object-store options
   ObservabilityConfig obs;         ///< metrics / tracing / exporters
+  ReliabilityConfig reliability;   ///< ack/retransmit on cross-machine links
+  SupervisionConfig supervision;   ///< heartbeats + worker respawn
+
+  /// If non-empty, the learner checkpoints its weights here (atomic write)
+  /// and a learner respawn restores from the latest good checkpoint.
+  std::string checkpoint_path;
+  /// Weight versions between checkpoint saves.
+  std::uint32_t checkpoint_every_versions = 25;
 
   /// Bound on each explorer's send buffer (0 = unbounded). A bounded buffer
   /// gives the same backpressure as the Python system's fixed-size plasma
@@ -98,6 +109,16 @@ struct RunReport {
   std::uint64_t rollout_messages = 0;
   std::uint64_t rollout_bytes = 0;
   std::uint64_t weight_broadcasts = 0;
+
+  // Robustness (chaos fabric + supervision; all zero in a healthy run).
+  std::uint64_t faults_injected = 0;    ///< drops+corruptions+delays+blackouts
+  std::uint64_t frames_corrupted = 0;   ///< CRC rejects at broker ingress
+  std::uint64_t retransmits = 0;        ///< reliable-link re-sends
+  std::uint64_t heartbeats_missed = 0;  ///< supervision timeout events
+  std::uint64_t worker_restarts = 0;    ///< total respawns
+  std::uint64_t explorer_restarts = 0;
+  std::uint64_t learner_restarts = 0;   ///< each restored from checkpoint
+  std::uint64_t degraded_workers = 0;   ///< abandoned after restart budget
 
   /// Full Prometheus text-format dump of the run's metrics registry.
   std::string prometheus;

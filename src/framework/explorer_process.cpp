@@ -28,6 +28,10 @@ ExplorerProcess::ExplorerProcess(NodeId node, std::uint32_t explorer_index,
           "xt_explorer_env_steps_total{machine=\"" + std::to_string(node.machine) + "\"}")),
       batches_counter_(broker.metrics().counter(
           "xt_explorer_batches_total{machine=\"" + std::to_string(node.machine) + "\"}")) {
+  if (config.supervision.enabled) {
+    heartbeat_ = std::make_unique<Heartbeater>(
+        endpoint_, node_, controller_, config.supervision.heartbeat_every_s);
+  }
   worker_ = std::thread([this] {
     set_current_thread_name("work-" + node_.name());
     worker_loop();
@@ -37,6 +41,8 @@ ExplorerProcess::ExplorerProcess(NodeId node, std::uint32_t explorer_index,
 ExplorerProcess::~ExplorerProcess() { shutdown(); }
 
 void ExplorerProcess::request_stop() { stop_.store(true); }
+
+void ExplorerProcess::inject_crash() { crashed_.store(true); }
 
 void ExplorerProcess::shutdown() {
   request_stop();
@@ -99,7 +105,9 @@ void ExplorerProcess::ship_batch() {
     const Stopwatch wait_clock;
     TraceScope wait_span(trace_, "explorer.wait_weights", "app", 0,
                          node_.machine);
-    while (!stop_.load() && agent_->weights_version() <= sent_version) {
+    while (!stop_.load() && !crashed_.load() &&
+           agent_->weights_version() <= sent_version) {
+      if (heartbeat_) heartbeat_->tick();
       auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
       if (!msg) continue;
       if (msg->header.type == MsgType::kWeights) {
@@ -138,6 +146,8 @@ void ExplorerProcess::worker_loop() {
   std::uint64_t episode_steps = 0;
 
   while (!stop_.load()) {
+    if (crashed_.load()) return;  // simulated kill: vanish mid-stride
+    if (heartbeat_) heartbeat_->tick();
     drain_inbox();
 
     const std::int32_t action = agent_->infer_action(obs);

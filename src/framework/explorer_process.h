@@ -8,6 +8,7 @@
 #include "comm/endpoint.h"
 #include "envs/environment.h"
 #include "framework/deployment.h"
+#include "framework/supervisor.h"
 
 namespace xt {
 
@@ -32,6 +33,13 @@ class ExplorerProcess {
   /// Join the worker and tear down the endpoint.
   void shutdown();
 
+  /// Fault injection: simulate this worker dying. The worker thread exits
+  /// silently — no farewell stats, no cleanup — exactly like a killed OS
+  /// process; its endpoint lingers until the supervisor's respawn tears the
+  /// whole object down.
+  void inject_crash();
+  [[nodiscard]] bool crashed() const { return crashed_.load(); }
+
   [[nodiscard]] std::uint64_t env_steps() const { return env_steps_.load(); }
   [[nodiscard]] std::uint64_t episodes() const { return episodes_.load(); }
   [[nodiscard]] std::uint64_t batches_sent() const { return batches_sent_.load(); }
@@ -52,6 +60,7 @@ class ExplorerProcess {
   Endpoint endpoint_;
   std::unique_ptr<Environment> env_;
   std::unique_ptr<Agent> agent_;
+  std::unique_ptr<Heartbeater> heartbeat_;  ///< worker thread only
 
   // Telemetry (per-machine handles, resolved once at construction).
   TraceCollector* trace_;
@@ -62,6 +71,7 @@ class ExplorerProcess {
   std::int64_t rollout_start_ns_ = 0;  ///< worker thread only
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> crashed_{false};
   std::atomic<std::uint64_t> env_steps_{0};
   std::atomic<std::uint64_t> episodes_{0};
   std::atomic<std::uint64_t> batches_sent_{0};

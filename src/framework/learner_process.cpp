@@ -10,7 +10,8 @@ namespace xt {
 LearnerProcess::LearnerProcess(NodeId node, Broker& broker,
                                std::unique_ptr<Algorithm> algorithm,
                                std::vector<NodeId> explorers, NodeId controller,
-                               const DeploymentConfig& config)
+                               const DeploymentConfig& config,
+                               std::uint64_t initial_steps)
     : node_(node),
       controller_(controller),
       explorers_(std::move(explorers)),
@@ -20,9 +21,17 @@ LearnerProcess::LearnerProcess(NodeId node, Broker& broker,
       wait_hist_(broker.metrics().histogram(
           "xt_learner_wait_ms{machine=\"" + std::to_string(node.machine) + "\"}")),
       train_hist_(broker.metrics().histogram(
-          "xt_learner_train_ms{machine=\"" + std::to_string(node.machine) + "\"}")) {
-  (void)config;
+          "xt_learner_train_ms{machine=\"" + std::to_string(node.machine) + "\"}")),
+      steps_consumed_(initial_steps) {
   endpoint_.set_latency_recorder(&transmission_ms_);
+  if (config.supervision.enabled) {
+    heartbeat_ = std::make_unique<Heartbeater>(
+        endpoint_, node_, controller_, config.supervision.heartbeat_every_s);
+  }
+  if (!config.checkpoint_path.empty()) {
+    checkpointer_ = std::make_unique<Checkpointer>(
+        config.checkpoint_path, config.checkpoint_every_versions);
+  }
   trainer_ = std::thread([this] {
     set_current_thread_name("train-" + node_.name());
     trainer_loop();
@@ -32,6 +41,8 @@ LearnerProcess::LearnerProcess(NodeId node, Broker& broker,
 LearnerProcess::~LearnerProcess() { shutdown(); }
 
 void LearnerProcess::request_stop() { stop_.store(true); }
+
+void LearnerProcess::inject_crash() { crashed_.store(true); }
 
 void LearnerProcess::shutdown() {
   request_stop();
@@ -92,17 +103,20 @@ void LearnerProcess::trainer_loop() {
   last_broadcast_version_ = algorithm_->weights_version();
 
   while (!stop_.load()) {
+    if (crashed_.load()) return;  // simulated kill: vanish mid-stride
+    if (heartbeat_) heartbeat_->tick();
     // Block until the algorithm has enough data. This is the "actual wait"
     // of paper Fig. 8(b)/(c): with the asynchronous channel the data is
     // usually already staged, so the wait is far below the transmission
     // latency of any single message.
     Stopwatch wait_clock;
     TraceScope wait_span(trace_, "learner.wait", "app", 0, node_.machine);
-    while (!algorithm_->ready_to_train() && !stop_.load()) {
+    while (!algorithm_->ready_to_train() && !stop_.load() && !crashed_.load()) {
+      if (heartbeat_) heartbeat_->tick();
       auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
       if (msg && !ingest(std::move(*msg))) break;
     }
-    if (stop_.load()) break;
+    if (stop_.load() || crashed_.load()) break;
     wait_span.finish();
     const double waited_ms = wait_clock.elapsed_ms();
     wait_ms_.add(waited_ms);
@@ -137,6 +151,13 @@ void LearnerProcess::trainer_loop() {
         last_broadcast_version_ = algorithm_->weights_version();
         trains_since_broadcast_ = 0;
       }
+    }
+
+    if (checkpointer_ != nullptr &&
+        checkpointer_->maybe_save(algorithm_->weights(),
+                                  algorithm_->weights_version(),
+                                  steps_consumed_.load())) {
+      checkpoints_.fetch_add(1, std::memory_order_relaxed);
     }
 
     if (sessions_.load() % 50 == 0) {

@@ -8,7 +8,9 @@
 #include "algo/interfaces.h"
 #include "comm/endpoint.h"
 #include "common/stats.h"
+#include "framework/checkpoint.h"
 #include "framework/deployment.h"
+#include "framework/supervisor.h"
 
 namespace xt {
 
@@ -21,9 +23,12 @@ namespace xt {
 /// transmission latency (message creation -> receive buffer).
 class LearnerProcess {
  public:
+  /// `initial_steps` seeds the steps-consumed counter — nonzero when this
+  /// learner replaces a dead one restored from a checkpoint, so the training
+  /// goal does not restart from zero.
   LearnerProcess(NodeId node, Broker& broker, std::unique_ptr<Algorithm> algorithm,
                  std::vector<NodeId> explorers, NodeId controller,
-                 const DeploymentConfig& config);
+                 const DeploymentConfig& config, std::uint64_t initial_steps = 0);
   ~LearnerProcess();
 
   LearnerProcess(const LearnerProcess&) = delete;
@@ -31,6 +36,16 @@ class LearnerProcess {
 
   void request_stop();
   void shutdown();
+
+  /// Fault injection: the trainer thread exits silently mid-loop, like a
+  /// killed OS process. The supervisor's respawn restores from checkpoint.
+  void inject_crash();
+  [[nodiscard]] bool crashed() const { return crashed_.load(); }
+
+  /// Checkpoints written by this learner instance.
+  [[nodiscard]] std::uint32_t checkpoints_written() const {
+    return checkpoints_.load();
+  }
 
   [[nodiscard]] std::uint64_t steps_consumed() const { return steps_consumed_.load(); }
   [[nodiscard]] int training_sessions() const { return sessions_.load(); }
@@ -62,6 +77,8 @@ class LearnerProcess {
 
   Endpoint endpoint_;
   std::unique_ptr<Algorithm> algorithm_;
+  std::unique_ptr<Heartbeater> heartbeat_;     ///< trainer thread only
+  std::unique_ptr<Checkpointer> checkpointer_; ///< trainer thread only
 
   // Telemetry: histogram twins of the LatencyRecorders below (exported via
   // Prometheus / the runtime stats line) plus "app"-category trace spans.
@@ -70,7 +87,9 @@ class LearnerProcess {
   Histogram& train_hist_;
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> crashed_{false};
   std::atomic<std::uint64_t> steps_consumed_{0};
+  std::atomic<std::uint32_t> checkpoints_{0};
   std::atomic<int> sessions_{0};
   std::atomic<std::uint64_t> broadcasts_{0};
   std::atomic<std::uint64_t> rollout_messages_{0};

@@ -1,5 +1,6 @@
 #include "framework/runtime.h"
 
+#include <algorithm>
 #include <cassert>
 #include <fstream>
 
@@ -7,6 +8,7 @@
 #include "common/log.h"
 #include "common/thread_util.h"
 #include "envs/registry.h"
+#include "framework/checkpoint.h"
 #include "obs/exporters.h"
 #include "serial/record.h"
 
@@ -26,6 +28,19 @@ double family_mean(const MetricsRegistry& registry, const std::string& family) {
     count += hist->count();
   }
   return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+/// Sum across every counter of the family (e.g. all links' labeled
+/// `xt_faults_injected_total{link="...",kind="..."}` series).
+std::uint64_t family_total(const MetricsRegistry& registry,
+                           const std::string& family) {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : registry.counters()) {
+    if (name.compare(0, family.size(), family) != 0) continue;
+    if (name.size() > family.size() && name[family.size()] != '{') continue;
+    total += value;
+  }
+  return total;
 }
 
 }  // namespace
@@ -48,15 +63,17 @@ XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
   // Probe the environment once for network sizing.
   auto probe = make_environment(setup_.env_name);
   assert(probe && "unknown environment name");
-  const std::size_t obs_dim = probe->observation_dim();
-  const std::int32_t n_actions = probe->action_count();
+  obs_dim_ = probe->observation_dim();
+  n_actions_ = probe->action_count();
+  const std::size_t obs_dim = obs_dim_;
+  const std::int32_t n_actions = n_actions_;
 
   // One broker per machine; data fabric between all machine pairs (the
   // learner's machine is the hot center; stats also flow to machine 0).
   for (std::uint16_t m = 0; m < n_machines; ++m) {
     brokers_.push_back(std::make_unique<Broker>(m, config_.broker));
   }
-  fabric_ = std::make_unique<Fabric>(config_.link);
+  fabric_ = std::make_unique<Fabric>(config_.link, config_.reliability);
   for (std::uint16_t a = 0; a < n_machines; ++a) {
     for (std::uint16_t b = a + 1; b < n_machines; ++b) {
       fabric_->connect(*brokers_[a], *brokers_[b]);
@@ -99,6 +116,18 @@ XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
     }
   }
 
+  if (config_.supervision.enabled) {
+    supervisor_ = std::make_unique<Supervisor>(config_.supervision, *metrics_);
+    for (std::size_t i = 0; i < explorer_ids_.size(); ++i) {
+      supervisor_->watch(explorer_ids_[i], [this, i](std::uint32_t attempt) {
+        return respawn_explorer(i, attempt);
+      });
+    }
+    supervisor_->watch(learner_id_, [this](std::uint32_t attempt) {
+      return respawn_learner(attempt);
+    });
+  }
+
   controller_thread_ = std::thread([this] {
     set_current_thread_name("controller");
     controller_loop();
@@ -106,10 +135,12 @@ XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
 }
 
 XingTianRuntime::~XingTianRuntime() {
+  // Join the controller first: once it is gone no respawn can race the
+  // worker teardown below.
   stop_.store(true);
+  if (controller_thread_.joinable()) controller_thread_.join();
   for (auto& explorer : explorers_) explorer->shutdown();
   if (learner_) learner_->shutdown();
-  if (controller_thread_.joinable()) controller_thread_.join();
   if (stats_csv_ != nullptr) {
     std::fclose(stats_csv_);
     stats_csv_ = nullptr;
@@ -125,7 +156,14 @@ void XingTianRuntime::controller_loop() {
   const Stopwatch clock;
   while (!stop_.load()) {
     auto msg = controller_endpoint_->receive_for(std::chrono::milliseconds(20));
+    if (supervisor_) supervisor_->poll();
     if (!msg) continue;
+    // Any message from a watched worker proves it is alive — stats count as
+    // much as dedicated beacons. This matters under congestion: heartbeats
+    // queue behind multi-megabyte rollout frames on the paced link, and a
+    // timeout that only trusted kHeartbeat would respawn healthy workers.
+    if (supervisor_) supervisor_->note_heartbeat(msg->header.src);
+    if (msg->header.type == MsgType::kHeartbeat) continue;
     if (msg->header.type != MsgType::kStats) continue;
     auto record = StatsRecord::deserialize(*msg->body);
     if (!record) continue;
@@ -165,6 +203,78 @@ std::uint64_t XingTianRuntime::episodes_reported() const {
   return episodes_reported_;
 }
 
+std::uint64_t XingTianRuntime::learner_steps() const {
+  std::scoped_lock lock(workers_mu_);
+  return learner_ ? learner_->steps_consumed() : 0;
+}
+
+std::uint32_t XingTianRuntime::learner_checkpoints() const {
+  std::scoped_lock lock(workers_mu_);
+  return learner_ ? learner_->checkpoints_written() : 0;
+}
+
+void XingTianRuntime::inject_explorer_crash(std::size_t global_index) {
+  std::scoped_lock lock(workers_mu_);
+  if (global_index < explorers_.size() && explorers_[global_index]) {
+    explorers_[global_index]->inject_crash();
+  }
+}
+
+void XingTianRuntime::inject_learner_crash() {
+  std::scoped_lock lock(workers_mu_);
+  if (learner_) learner_->inject_crash();
+}
+
+bool XingTianRuntime::respawn_explorer(std::size_t global_index,
+                                       std::uint32_t attempt) {
+  std::scoped_lock lock(workers_mu_);
+  if (stop_.load() || global_index >= explorers_.size()) return false;
+  const NodeId id = explorer_ids_[global_index];
+  XT_LOG_INFO << "respawning " << id.name() << " (attempt " << attempt << ")";
+  // Tear down the dead worker (joins its exited thread, unregisters its
+  // endpoint) and rebuild it under the same NodeId with a fresh env+agent;
+  // the first weight broadcast it receives brings it back on-policy.
+  explorers_[global_index].reset();
+  explorers_[global_index] = std::make_unique<ExplorerProcess>(
+      id, static_cast<std::uint32_t>(global_index), *brokers_[id.machine],
+      make_environment(setup_.env_name),
+      make_agent(setup_, obs_dim_, n_actions_,
+                 static_cast<std::uint32_t>(global_index)),
+      learner_id_, controller_id_, config_);
+  return true;
+}
+
+bool XingTianRuntime::respawn_learner(std::uint32_t attempt) {
+  std::scoped_lock lock(workers_mu_);
+  if (stop_.load() || !learner_) return false;
+  // Progress already credited to the training goal survives the crash even
+  // if the checkpoint lags behind it.
+  std::uint64_t steps = learner_->steps_consumed();
+  AlgoSetup setup = setup_;
+  if (!config_.checkpoint_path.empty()) {
+    if (auto snapshot = Checkpointer::load(config_.checkpoint_path)) {
+      setup.initial_weights = std::move(snapshot->weights);
+      steps = std::max(steps, snapshot->steps_consumed);
+      XT_LOG_INFO << "respawning learner from checkpoint v"
+                  << snapshot->weights_version << " ("
+                  << snapshot->steps_consumed << " steps, attempt " << attempt
+                  << ")";
+    } else {
+      XT_LOG_WARN << "respawning learner without checkpoint (none readable at "
+                  << config_.checkpoint_path << ", attempt " << attempt << ")";
+    }
+  } else {
+    XT_LOG_WARN << "respawning learner from scratch (no checkpoint path, "
+                << "attempt " << attempt << ")";
+  }
+  learner_.reset();
+  learner_ = std::make_unique<LearnerProcess>(
+      learner_id_, *brokers_[config_.learner_machine],
+      make_algorithm(setup, obs_dim_, n_actions_), explorer_ids_,
+      controller_id_, config_, steps);
+  return true;
+}
+
 void XingTianRuntime::broadcast_shutdown() {
   // The center controller broadcasts shutdown commands through the channel
   // (paper Section 3.2.2); request_stop below is the belt-and-braces local
@@ -187,17 +297,16 @@ RunReport XingTianRuntime::run() {
         clock.elapsed_s() >= next_stats_line_s) {
       next_stats_line_s += config_.obs.stats_line_every_s;
       const double elapsed = clock.elapsed_s();
-      const auto steps = learner_->steps_consumed();
+      const auto steps = learner_steps();
       XT_LOG_INFO << "stats t=" << elapsed << "s steps=" << steps
                   << " throughput=" << (elapsed > 0 ? static_cast<double>(steps) / elapsed : 0.0)
-                  << "/s sessions=" << learner_->training_sessions()
-                  << " episodes=" << episodes_reported()
+                  << "/s episodes=" << episodes_reported()
                   << " wait_ms=" << family_mean(*metrics_, "xt_learner_wait_ms")
                   << " train_ms=" << family_mean(*metrics_, "xt_learner_train_ms")
                   << " spans=" << trace_->total_recorded();
     }
     if (config_.max_steps_consumed > 0 &&
-        learner_->steps_consumed() >= config_.max_steps_consumed) {
+        learner_steps() >= config_.max_steps_consumed) {
       break;
     }
     if (config_.max_seconds > 0.0 && clock.elapsed_s() >= config_.max_seconds) {
@@ -211,10 +320,14 @@ RunReport XingTianRuntime::run() {
   }
   const double wall = clock.elapsed_s();
 
+  // Stop supervision before tearing workers down: once the controller
+  // thread is joined, no respawn can resurrect a worker mid-shutdown.
+  stop_.store(true);
+  if (controller_thread_.joinable()) controller_thread_.join();
+
   broadcast_shutdown();
   for (auto& explorer : explorers_) explorer->request_stop();
   learner_->request_stop();
-  stop_.store(true);
   for (auto& explorer : explorers_) explorer->shutdown();
   learner_->shutdown();
 
@@ -239,6 +352,26 @@ RunReport XingTianRuntime::run() {
   report.rollout_messages = learner_->rollout_messages();
   report.rollout_bytes = learner_->rollout_bytes();
   report.weight_broadcasts = learner_->weight_broadcasts();
+
+  // Robustness: chaos-fabric and supervision tallies (all zero when faults
+  // are off and every worker stayed alive).
+  report.faults_injected = family_total(*metrics_, "xt_faults_injected_total");
+  report.frames_corrupted =
+      family_total(*metrics_, "xt_frames_corrupted_total");
+  report.retransmits = family_total(*metrics_, "xt_retransmits_total");
+  if (supervisor_) {
+    report.heartbeats_missed = supervisor_->heartbeats_missed();
+    report.worker_restarts = supervisor_->restarts();
+    report.explorer_restarts = supervisor_->explorer_restarts();
+    report.learner_restarts = supervisor_->learner_restarts();
+    report.degraded_workers = supervisor_->degraded();
+    if (report.worker_restarts > 0) {
+      XT_LOG_INFO << "run survived " << report.worker_restarts
+                  << " worker restart(s) (" << report.explorer_restarts
+                  << " explorer, " << report.learner_restarts << " learner, "
+                  << report.degraded_workers << " degraded)";
+    }
+  }
 
   if (!config_.obs.chrome_trace_path.empty()) {
     if (write_chrome_trace_file(*trace_, config_.obs.chrome_trace_path)) {

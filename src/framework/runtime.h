@@ -13,6 +13,7 @@
 #include "framework/deployment.h"
 #include "framework/explorer_process.h"
 #include "framework/learner_process.h"
+#include "framework/supervisor.h"
 #include "netsim/fabric.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -37,13 +38,27 @@ class XingTianRuntime {
   /// Run to the configured goal; blocking. Callable once.
   RunReport run();
 
-  /// Introspection for tests.
+  /// Introspection for tests. With supervision enabled the learner/explorer
+  /// objects can be replaced by a respawn at any time — prefer the locked
+  /// accessors (learner_steps / learner_checkpoints) while a run is live.
   [[nodiscard]] LearnerProcess& learner() { return *learner_; }
   [[nodiscard]] const std::vector<std::unique_ptr<ExplorerProcess>>& explorers() const {
     return explorers_;
   }
   [[nodiscard]] double recent_return() const;
   [[nodiscard]] std::uint64_t episodes_reported() const;
+
+  /// Respawn-safe snapshots of learner progress (any thread).
+  [[nodiscard]] std::uint64_t learner_steps() const;
+  [[nodiscard]] std::uint32_t learner_checkpoints() const;
+
+  /// Fault injection for chaos tests: simulate a worker being killed. The
+  /// supervisor (if enabled) detects the silence and respawns it; without
+  /// supervision the worker just stays dead.
+  void inject_explorer_crash(std::size_t global_index);
+  void inject_learner_crash();
+
+  [[nodiscard]] const Supervisor* supervisor() const { return supervisor_.get(); }
 
   /// This runtime's private telemetry (not the process globals): every
   /// broker, endpoint, pipe and process of this run records here.
@@ -53,9 +68,15 @@ class XingTianRuntime {
  private:
   void controller_loop();
   void broadcast_shutdown();
+  /// Rebuild a dead worker in place (controller thread, via the
+  /// supervisor). Return false when shutdown already started.
+  bool respawn_explorer(std::size_t global_index, std::uint32_t attempt);
+  bool respawn_learner(std::uint32_t attempt);
 
   AlgoSetup setup_;
   DeploymentConfig config_;
+  std::size_t obs_dim_ = 0;       ///< probed once, reused by respawns
+  std::int32_t n_actions_ = 0;
 
   // Created before the brokers: everything downstream holds handles into
   // these, so they must outlive brokers/endpoints/processes (declaration
@@ -71,6 +92,11 @@ class XingTianRuntime {
   std::vector<NodeId> explorer_ids_;
   NodeId learner_id_;
   NodeId controller_id_;
+
+  /// Guards learner_ / explorers_ slot swaps (supervised respawns happen on
+  /// the controller thread while run()'s goal loop and tests read progress).
+  mutable std::mutex workers_mu_;
+  std::unique_ptr<Supervisor> supervisor_;  ///< controller thread only
 
   std::atomic<bool> stop_{false};
   std::FILE* stats_csv_ = nullptr;  ///< owned; controller thread only

@@ -1,0 +1,86 @@
+#include "framework/supervisor.h"
+
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "comm/message.h"
+
+namespace xt {
+namespace {
+
+std::int64_t s_to_ns(double s) {
+  return static_cast<std::int64_t>(std::llround(s * 1e9));
+}
+
+}  // namespace
+
+Heartbeater::Heartbeater(Endpoint& endpoint, NodeId self, NodeId controller,
+                         double every_s)
+    : endpoint_(endpoint),
+      self_(self),
+      controller_(controller),
+      every_ns_(s_to_ns(every_s)) {}
+
+void Heartbeater::tick() {
+  const std::int64_t now = now_ns();
+  if (now - last_sent_ns_ < every_ns_) return;
+  last_sent_ns_ = now;
+  (void)endpoint_.send(
+      make_outbound(self_, {controller_}, MsgType::kHeartbeat, empty_payload()));
+}
+
+Supervisor::Supervisor(SupervisionConfig config, MetricsRegistry& metrics)
+    : config_(config),
+      missed_counter_(metrics.counter("xt_heartbeats_missed_total")),
+      restarts_counter_(metrics.counter("xt_worker_restarts_total")) {}
+
+void Supervisor::watch(NodeId id, RespawnFn respawn) {
+  Watched w;
+  w.respawn = std::move(respawn);
+  w.last_beat_ns = now_ns();
+  watched_[id] = std::move(w);
+}
+
+void Supervisor::note_heartbeat(const NodeId& id) {
+  auto it = watched_.find(id);
+  if (it != watched_.end()) it->second.last_beat_ns = now_ns();
+}
+
+void Supervisor::poll() {
+  const std::int64_t timeout_ns = s_to_ns(config_.heartbeat_timeout_s);
+  const std::int64_t now = now_ns();
+  for (auto& [id, w] : watched_) {
+    if (w.degraded || now - w.last_beat_ns < timeout_ns) continue;
+    ++heartbeats_missed_;
+    missed_counter_.inc();
+    if (w.restarts >= config_.max_restarts_per_worker) {
+      w.degraded = true;
+      ++degraded_;
+      XT_LOG_WARN << "supervisor: " << id.name() << " exhausted its "
+                  << config_.max_restarts_per_worker
+                  << "-restart budget; continuing degraded without it";
+      continue;
+    }
+    XT_LOG_WARN << "supervisor: " << id.name() << " silent for "
+                << static_cast<double>(now - w.last_beat_ns) / 1e9
+                << "s, respawning (attempt " << (w.restarts + 1) << ")";
+    if (!w.respawn(w.restarts + 1)) {
+      // Respawn refused (shutdown in progress): leave state untouched so a
+      // later poll can retry if the runtime is in fact still alive.
+      continue;
+    }
+    ++w.restarts;
+    ++restarts_;
+    restarts_counter_.inc();
+    if (id.kind == NodeKind::kLearner) {
+      ++learner_restarts_;
+    } else {
+      ++explorer_restarts_;
+    }
+    // The replacement needs a full timeout to come up and start beating.
+    w.last_beat_ns = now_ns();
+  }
+}
+
+}  // namespace xt

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "comm/endpoint.h"
+#include "comm/node_id.h"
+#include "obs/metrics.h"
+
+namespace xt {
+
+/// Liveness / self-healing knobs (paper Section 4.2: checkpointing gives
+/// "sufficient fault tolerance without significant overheads" — this layer
+/// adds the detection and respawn half of that story).
+struct SupervisionConfig {
+  bool enabled = false;
+  /// Workers send a heartbeat to the center controller this often.
+  double heartbeat_every_s = 0.25;
+  /// A worker silent for this long is declared dead and respawned.
+  double heartbeat_timeout_s = 1.5;
+  /// After this many restarts a worker is abandoned (degraded mode): the
+  /// run continues with the workers that remain.
+  std::uint32_t max_restarts_per_worker = 3;
+};
+
+/// Owned by a workhorse thread: rate-limits kHeartbeat beacons toward the
+/// center controller. tick() is called from the worker's main loop (and its
+/// internal wait loops) and sends at most one beacon per interval; an empty
+/// body keeps the cost to one header through the channel.
+class Heartbeater {
+ public:
+  Heartbeater(Endpoint& endpoint, NodeId self, NodeId controller,
+              double every_s);
+
+  /// Send a beacon if the interval elapsed. Non-blocking (drops the beacon
+  /// if the send buffer is full — the next tick retries).
+  void tick();
+
+ private:
+  Endpoint& endpoint_;
+  const NodeId self_;
+  const NodeId controller_;
+  const std::int64_t every_ns_;
+  std::int64_t last_sent_ns_ = 0;
+};
+
+/// The center controller's failure detector (runs on the controller
+/// thread, no locking): tracks the last heartbeat per watched worker,
+/// declares silent workers dead, and invokes their respawn callbacks.
+/// A worker that keeps dying past its restart budget is abandoned and the
+/// run degrades gracefully instead of thrashing.
+class Supervisor {
+ public:
+  /// The callback rebuilds the dead worker (attempt number passed for
+  /// logging); returns false if the respawn itself failed (e.g. the runtime
+  /// is already shutting down), which does not consume a restart.
+  using RespawnFn = std::function<bool(std::uint32_t attempt)>;
+
+  Supervisor(SupervisionConfig config, MetricsRegistry& metrics);
+
+  /// Start watching a worker; its liveness clock starts now.
+  void watch(NodeId id, RespawnFn respawn);
+
+  /// Record a heartbeat (controller thread, on kHeartbeat receipt).
+  void note_heartbeat(const NodeId& id);
+
+  /// Scan for stalled workers and respawn them. Call periodically from the
+  /// controller loop.
+  void poll();
+
+  [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+  [[nodiscard]] std::uint64_t explorer_restarts() const {
+    return explorer_restarts_;
+  }
+  [[nodiscard]] std::uint64_t learner_restarts() const {
+    return learner_restarts_;
+  }
+  [[nodiscard]] std::uint64_t heartbeats_missed() const {
+    return heartbeats_missed_;
+  }
+  /// Workers abandoned after exhausting their restart budget.
+  [[nodiscard]] std::uint64_t degraded() const { return degraded_; }
+
+ private:
+  struct Watched {
+    RespawnFn respawn;
+    std::int64_t last_beat_ns = 0;
+    std::uint32_t restarts = 0;
+    bool degraded = false;
+  };
+
+  const SupervisionConfig config_;
+  Counter& missed_counter_;    ///< xt_heartbeats_missed_total
+  Counter& restarts_counter_;  ///< xt_worker_restarts_total
+  std::unordered_map<NodeId, Watched> watched_;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t explorer_restarts_ = 0;
+  std::uint64_t learner_restarts_ = 0;
+  std::uint64_t heartbeats_missed_ = 0;
+  std::uint64_t degraded_ = 0;
+};
+
+}  // namespace xt

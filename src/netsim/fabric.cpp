@@ -1,19 +1,27 @@
 #include "netsim/fabric.h"
 
+#include "common/crc32.h"
+
 namespace xt {
 
-Fabric::Fabric(LinkConfig default_link) : default_link_(default_link) {}
+Fabric::Fabric(LinkConfig default_link, ReliabilityConfig reliability)
+    : default_link_(default_link), reliability_(reliability) {}
 
 Fabric::~Fabric() { stop(); }
 
 void Fabric::connect(Broker& a, Broker& b) { connect(a, b, default_link_); }
 
 void Fabric::connect(Broker& a, Broker& b, LinkConfig link) {
-  connect_one_way(a, b, link);
-  connect_one_way(b, a, link);
+  // Both pipes must exist before either direction is wired: with
+  // reliability on, each direction's channel acks over the reverse pipe.
+  PacedPipe* ab = make_pipe(a, b, link);
+  PacedPipe* ba = make_pipe(b, a, link);
+  connect_one_way(a, b, link, ab, ba);
+  connect_one_way(b, a, link, ba, ab);
 }
 
-void Fabric::connect_one_way(Broker& from, Broker& to, const LinkConfig& link) {
+PacedPipe* Fabric::make_pipe(Broker& from, Broker& to,
+                             const LinkConfig& link) {
   const std::string name =
       "m" + std::to_string(from.machine()) + ">m" + std::to_string(to.machine());
   const std::string label = "{link=\"" + name + "\"}";
@@ -23,23 +31,87 @@ void Fabric::connect_one_way(Broker& from, Broker& to, const LinkConfig& link) {
   obs.wire_bytes = &from.metrics().counter("xt_pipe_wire_bytes_total" + label);
   obs.frames = &from.metrics().counter("xt_pipe_frames_total" + label);
   obs.pid = from.machine();
+  if (link.faults.enabled()) {
+    auto fault_counter = [&](const char* kind) {
+      return &from.metrics().counter(
+          std::string("xt_faults_injected_total{link=\"") + name +
+          "\",kind=\"" + kind + "\"}");
+    };
+    obs.faults_dropped = fault_counter("drop");
+    obs.faults_corrupted = fault_counter("corrupt");
+    obs.faults_delayed = fault_counter("delay");
+    obs.faults_blackout = fault_counter("blackout");
+  }
   auto pipe = std::make_unique<PacedPipe>(name, link, obs);
   PacedPipe* raw = pipe.get();
-  Broker* target = &to;
-  from.set_remote_sink(to.machine(), [raw, target](MessageHeader header, Payload body) {
-    const std::size_t wire = body->size();
-    const std::uint64_t trace_id = header.trace_id();
-    auto shared_header = std::make_shared<MessageHeader>(std::move(header));
-    raw->send(wire, [target, shared_header, body = std::move(body)]() mutable {
-      target->deliver_remote(std::move(*shared_header), std::move(body));
-    }, trace_id);
-  });
   std::scoped_lock lock(mu_);
   pipes_.push_back(std::move(pipe));
+  return raw;
+}
+
+void Fabric::connect_one_way(Broker& from, Broker& to, const LinkConfig& link,
+                             PacedPipe* data_pipe, PacedPipe* ack_pipe) {
+  Broker* target = &to;
+
+  if (reliability_.enabled) {
+    const std::string name = data_pipe->name();
+    const std::string label = "{link=\"" + name + "\"}";
+    ReliableChannel::Instruments inst;
+    inst.retransmits =
+        &from.metrics().counter("xt_retransmits_total" + label);
+    inst.give_ups =
+        &from.metrics().counter("xt_retransmit_give_ups_total" + label);
+    inst.duplicates =
+        &from.metrics().counter("xt_link_duplicate_frames_total" + label);
+    inst.acks = &from.metrics().counter("xt_link_acks_total" + label);
+    auto channel = std::make_unique<ReliableChannel>(
+        name, reliability_, *data_pipe, *target, inst);
+    ReliableChannel* ch = channel.get();
+    // Acks ride the reverse pipe so they share its fault plan: a lost or
+    // corrupted ack leaves the frame pending and the sender retransmits.
+    const std::size_t ack_wire = reliability_.ack_wire_bytes;
+    channel->set_ack_sender([ch, ack_pipe, ack_wire](std::uint64_t seq) {
+      ack_pipe->send_faultable(ack_wire, [ch, seq](const FaultOutcome& o) {
+        if (!o.corrupt) ch->on_ack(seq);
+      });
+    });
+    from.set_remote_sink(to.machine(),
+                         [ch](MessageHeader header, Payload body) {
+                           ch->send(std::move(header), std::move(body));
+                         });
+    std::scoped_lock lock(mu_);
+    channels_.push_back(std::move(channel));
+    return;
+  }
+
+  // Unreliable path. CRC is stamped only when the link can actually corrupt
+  // frames, keeping the fault-free benchmark path identical to before.
+  PacedPipe* raw = data_pipe;
+  const bool stamp_crc = link.faults.enabled();
+  from.set_remote_sink(
+      to.machine(), [raw, target, stamp_crc](MessageHeader header, Payload body) {
+        const std::size_t wire = body->size();
+        const std::uint64_t trace_id = header.trace_id();
+        if (stamp_crc) {
+          header.crc_present = true;
+          header.body_crc = crc32(*body);
+        }
+        auto shared_header = std::make_shared<MessageHeader>(std::move(header));
+        raw->send_faultable(
+            wire,
+            [target, shared_header,
+             body = std::move(body)](const FaultOutcome& outcome) mutable {
+              target->deliver_remote(std::move(*shared_header),
+                                     apply_corruption(std::move(body), outcome));
+            },
+            trace_id);
+      });
 }
 
 void Fabric::stop() {
   std::scoped_lock lock(mu_);
+  // Channels first: their retransmitter threads enqueue onto the pipes.
+  for (auto& channel : channels_) channel->stop();
   for (auto& pipe : pipes_) pipe->stop();
 }
 
@@ -55,6 +127,14 @@ std::vector<const PacedPipe*> Fabric::pipes() const {
   std::vector<const PacedPipe*> out;
   out.reserve(pipes_.size());
   for (const auto& pipe : pipes_) out.push_back(pipe.get());
+  return out;
+}
+
+std::vector<const ReliableChannel*> Fabric::channels() const {
+  std::scoped_lock lock(mu_);
+  std::vector<const ReliableChannel*> out;
+  out.reserve(channels_.size());
+  for (const auto& channel : channels_) out.push_back(channel.get());
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "comm/broker.h"
 #include "netsim/paced_pipe.h"
+#include "netsim/reliable_link.h"
 
 namespace xt {
 
@@ -13,9 +14,17 @@ namespace xt {
 /// paced links, forming the data-transmission fabric of paper Fig. 2(b).
 /// The controller establishes these routes during initialization; the
 /// machine hosting the learner is the natural center of traffic.
+///
+/// When the link's FaultPlan is enabled every outgoing frame is CRC-stamped
+/// so corruption is caught at the far broker's ingress; with reliability
+/// additionally enabled each direction gets a ReliableChannel layered on
+/// its pipe (seq numbers, acks over the reverse pipe, retransmit with
+/// capped exponential backoff). With both off, the wiring is byte-for-byte
+/// the zero-overhead path the benchmarks measure.
 class Fabric {
  public:
-  explicit Fabric(LinkConfig default_link = {});
+  explicit Fabric(LinkConfig default_link = {},
+                  ReliabilityConfig reliability = {});
   ~Fabric();
 
   Fabric(const Fabric&) = delete;
@@ -27,7 +36,8 @@ class Fabric {
   void connect(Broker& a, Broker& b);
   void connect(Broker& a, Broker& b, LinkConfig link);
 
-  /// Stop all pipes (idempotent). Call before destroying the brokers.
+  /// Stop all channels and pipes (idempotent). Call before destroying the
+  /// brokers.
   void stop();
 
   /// Total bytes moved across all links (both directions).
@@ -36,11 +46,21 @@ class Fabric {
   /// Access individual pipes for per-link diagnostics.
   [[nodiscard]] std::vector<const PacedPipe*> pipes() const;
 
+  /// Reliable channels, one per direction (empty when reliability is off).
+  [[nodiscard]] std::vector<const ReliableChannel*> channels() const;
+
  private:
-  void connect_one_way(Broker& from, Broker& to, const LinkConfig& link);
+  PacedPipe* make_pipe(Broker& from, Broker& to, const LinkConfig& link);
+  void connect_one_way(Broker& from, Broker& to, const LinkConfig& link,
+                       PacedPipe* data_pipe, PacedPipe* ack_pipe);
 
   const LinkConfig default_link_;
+  const ReliabilityConfig reliability_;
   mutable std::mutex mu_;
+  // Destruction order matters: pipes_ is declared last so it is destroyed
+  // (joining transmit threads whose closures reference the channels) before
+  // channels_ is freed.
+  std::vector<std::unique_ptr<ReliableChannel>> channels_;
   std::vector<std::unique_ptr<PacedPipe>> pipes_;
 };
 

@@ -1,0 +1,52 @@
+#include "netsim/fault_plan.h"
+
+#include <cmath>
+
+namespace xt {
+
+bool FaultPlan::blackout_at(double t_s) const {
+  if (blackout_duration_s <= 0.0) return false;
+  if (t_s < blackout_start_s) return false;
+  double rel = t_s - blackout_start_s;
+  if (blackout_every_s > 0.0) rel = std::fmod(rel, blackout_every_s);
+  return rel < blackout_duration_s;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+FaultOutcome FaultInjector::next_frame(double elapsed_s) {
+  FaultOutcome outcome;
+  if (plan_.blackout_at(elapsed_s)) {
+    outcome.drop = true;
+    outcome.blackout = true;
+    ++blackouts_;
+    return outcome;
+  }
+  if (plan_.drop_probability > 0.0 && rng_.bernoulli(plan_.drop_probability)) {
+    outcome.drop = true;
+    ++drops_;
+    return outcome;
+  }
+  if (plan_.corrupt_probability > 0.0 &&
+      rng_.bernoulli(plan_.corrupt_probability)) {
+    outcome.corrupt = true;
+    outcome.corrupt_offset = rng_.next_u64();
+    outcome.corrupt_mask =
+        static_cast<std::uint8_t>(rng_.uniform_int(1, 255));
+    ++corruptions_;
+  }
+  if (plan_.delay_probability > 0.0 && rng_.bernoulli(plan_.delay_probability)) {
+    outcome.extra_latency_ns = plan_.delay_ns;
+    ++delays_;
+  }
+  return outcome;
+}
+
+Payload apply_corruption(Payload body, const FaultOutcome& outcome) {
+  if (!outcome.corrupt || !body || body->empty()) return body;
+  Bytes copy(*body);
+  copy[outcome.corrupt_offset % copy.size()] ^= outcome.corrupt_mask;
+  return make_payload(std::move(copy));
+}
+
+}  // namespace xt

@@ -12,6 +12,9 @@ PacedPipe::PacedPipe(std::string name, LinkConfig config)
 
 PacedPipe::PacedPipe(std::string name, LinkConfig config, Observability obs)
     : name_(std::move(name)), config_(config), obs_(obs) {
+  if (config_.faults.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(config_.faults);
+  }
   transmitter_ = std::thread([this] {
     set_current_thread_name("pipe-" + name_);
     transmit_loop();
@@ -27,19 +30,35 @@ void PacedPipe::stop() {
 
 bool PacedPipe::send(std::size_t wire_bytes, std::function<void()> deliver,
                      std::uint64_t trace_id) {
+  return send_faultable(
+      wire_bytes,
+      [deliver = std::move(deliver)](const FaultOutcome&) { deliver(); },
+      trace_id);
+}
+
+bool PacedPipe::send_faultable(std::size_t wire_bytes, FaultableDeliver deliver,
+                               std::uint64_t trace_id) {
   return queue_.push(Frame{wire_bytes, std::move(deliver), trace_id});
 }
 
 void PacedPipe::transmit_loop() {
+  const Stopwatch link_clock;  // blackout windows key off link uptime
   while (auto frame = queue_.pop()) {
     TraceScope span(obs_.trace, "pipe.transmit", "comm", frame->trace_id,
                     obs_.pid, frame->wire_bytes);
     const Stopwatch clock;
+    FaultOutcome outcome;
+    if (injector_) outcome = injector_->next_frame(link_clock.elapsed_s());
+
+    // Pacing: even a frame destined to vanish occupies the sender's NIC for
+    // its serialization time, exactly like a packet lost downstream.
     const double total_bytes =
         static_cast<double>(frame->wire_bytes + config_.frame_overhead_bytes);
     const auto serialize_ns = static_cast<std::int64_t>(
         std::llround(total_bytes / config_.bandwidth_bytes_per_sec * 1e9));
-    precise_sleep_ns(serialize_ns + config_.latency_ns);
+    precise_sleep_ns(serialize_ns + config_.latency_ns +
+                     outcome.extra_latency_ns);
+
     bytes_transferred_.fetch_add(frame->wire_bytes, std::memory_order_relaxed);
     frames_transferred_.fetch_add(1, std::memory_order_relaxed);
     if (obs_.wire_bytes != nullptr) obs_.wire_bytes->inc(frame->wire_bytes);
@@ -47,8 +66,24 @@ void PacedPipe::transmit_loop() {
     if (obs_.transmit_ms != nullptr) {
       obs_.transmit_ms->observe(clock.elapsed_ms());
     }
+    if (outcome.extra_latency_ns > 0 && obs_.faults_delayed != nullptr) {
+      obs_.faults_delayed->inc();
+    }
     span.finish();  // the transmit span ends before the far-end delivery runs
-    frame->deliver();
+
+    if (outcome.drop) {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (outcome.blackout) {
+        if (obs_.faults_blackout != nullptr) obs_.faults_blackout->inc();
+      } else if (obs_.faults_dropped != nullptr) {
+        obs_.faults_dropped->inc();
+      }
+      continue;
+    }
+    if (outcome.corrupt && obs_.faults_corrupted != nullptr) {
+      obs_.faults_corrupted->inc();
+    }
+    frame->deliver(outcome);
   }
 }
 

@@ -3,10 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/blocking_queue.h"
+#include "netsim/fault_plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -19,21 +21,39 @@ struct LinkConfig {
   double bandwidth_bytes_per_sec = 118.04e6;
   std::int64_t latency_ns = 100'000;      ///< propagation delay per frame
   std::size_t frame_overhead_bytes = 128; ///< header/framing cost per message
+  /// Chaos schedule for this link (disabled by default). When enabled the
+  /// pipe drops/corrupts/delays frames per the seeded plan.
+  FaultPlan faults;
 };
 
 /// One direction of a simulated NIC: frames are delivered in order, paced in
 /// real wall-clock time at the configured bandwidth. The delivery action
 /// runs on the pipe's own thread, so a slow consumer models head-of-line
 /// blocking exactly as a TCP stream would.
+///
+/// With an enabled FaultPlan the pipe becomes a lossy link: dropped and
+/// blacked-out frames still consume send-side bandwidth but never deliver,
+/// corrupted frames deliver with `FaultOutcome::corrupt` set (the consumer
+/// applies the byte flip — bodies are immutable shared payloads), and
+/// latency spikes stretch the propagation delay.
 class PacedPipe {
  public:
+  /// Delivery callback; the outcome describes faults injected into this
+  /// frame (never a drop — dropped frames are simply not delivered).
+  using FaultableDeliver = std::function<void(const FaultOutcome&)>;
+
   /// Optional telemetry: the `pipe.transmit` lifecycle span plus bytes/
-  /// frames-on-wire metrics. All pointers may be null.
+  /// frames-on-wire metrics and injected-fault counters. All pointers may
+  /// be null.
   struct Observability {
     TraceCollector* trace = nullptr;
     Histogram* transmit_ms = nullptr;  ///< modeled serialize + propagation time
     Counter* wire_bytes = nullptr;
     Counter* frames = nullptr;
+    Counter* faults_dropped = nullptr;
+    Counter* faults_corrupted = nullptr;
+    Counter* faults_delayed = nullptr;
+    Counter* faults_blackout = nullptr;
     std::uint32_t pid = 0;             ///< span process group (source machine)
   };
 
@@ -47,8 +67,16 @@ class PacedPipe {
   /// Queue a frame of `wire_bytes` for transmission; `deliver` runs once the
   /// simulated transfer completes. `trace_id` labels the frame's
   /// `pipe.transmit` span (0 = untraced). Returns false after stop().
+  /// Under an enabled FaultPlan the frame may be dropped (deliver never
+  /// runs); corruption is invisible through this overload.
   bool send(std::size_t wire_bytes, std::function<void()> deliver,
             std::uint64_t trace_id = 0);
+
+  /// Fault-aware send: `deliver` receives the injected-fault outcome so the
+  /// consumer can apply corruption. Dropped frames are still never
+  /// delivered.
+  bool send_faultable(std::size_t wire_bytes, FaultableDeliver deliver,
+                      std::uint64_t trace_id = 0);
 
   /// Drain and stop the transmit thread (idempotent).
   void stop();
@@ -61,12 +89,15 @@ class PacedPipe {
   [[nodiscard]] std::uint64_t frames_transferred() const {
     return frames_transferred_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t queued_frames() const { return queue_.size(); }
 
  private:
   struct Frame {
     std::size_t wire_bytes;
-    std::function<void()> deliver;
+    FaultableDeliver deliver;
     std::uint64_t trace_id;
   };
 
@@ -75,9 +106,11 @@ class PacedPipe {
   const std::string name_;
   const LinkConfig config_;
   const Observability obs_;
+  std::unique_ptr<FaultInjector> injector_;  ///< transmit thread only
   BlockingQueue<Frame> queue_;
   std::atomic<std::uint64_t> bytes_transferred_{0};
   std::atomic<std::uint64_t> frames_transferred_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
   std::thread transmitter_;
 };
 

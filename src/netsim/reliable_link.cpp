@@ -1,0 +1,182 @@
+#include "netsim/reliable_link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/crc32.h"
+#include "common/log.h"
+#include "common/thread_util.h"
+
+namespace xt {
+namespace {
+
+std::int64_t ms_to_ns(double ms) {
+  return static_cast<std::int64_t>(std::llround(ms * 1e6));
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(std::string name, ReliabilityConfig config,
+                                 PacedPipe& data_pipe, Broker& receiver,
+                                 Instruments inst)
+    : name_(std::move(name)),
+      config_(config),
+      pipe_(data_pipe),
+      receiver_(receiver),
+      inst_(inst) {
+  retransmitter_ = std::thread([this] {
+    set_current_thread_name("rexmit-" + name_);
+    retransmit_loop();
+  });
+}
+
+ReliableChannel::~ReliableChannel() { stop(); }
+
+void ReliableChannel::stop() {
+  {
+    std::scoped_lock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (retransmitter_.joinable()) retransmitter_.join();
+}
+
+void ReliableChannel::set_ack_sender(AckSender sender) {
+  ack_sender_ = std::move(sender);
+}
+
+std::size_t ReliableChannel::pending() const {
+  std::scoped_lock lock(mu_);
+  return pending_.size();
+}
+
+void ReliableChannel::send(MessageHeader header, Payload body) {
+  header.crc_present = true;
+  header.body_crc = body ? crc32(*body) : 0;
+  std::uint64_t seq = 0;
+  {
+    std::scoped_lock lock(mu_);
+    if (stopping_) return;
+    seq = next_seq_++;
+    header.link_seq = seq;
+    Pending entry;
+    entry.header = header;
+    entry.body = body;
+    entry.rto_ns = ms_to_ns(config_.rto_ms);
+    entry.deadline_ns = now_ns() + entry.rto_ns;
+    pending_.emplace(seq, std::move(entry));
+  }
+  cv_.notify_one();  // the retransmitter may need an earlier deadline
+  transmit(seq, header, body);
+}
+
+void ReliableChannel::transmit(std::uint64_t seq, const MessageHeader& header,
+                               const Payload& body) {
+  const std::size_t wire = body ? body->size() : 0;
+  pipe_.send_faultable(
+      wire,
+      [this, seq, header, body](const FaultOutcome& outcome) {
+        deliver(seq, header, body, outcome);
+      },
+      header.trace_id());
+}
+
+void ReliableChannel::deliver(std::uint64_t seq, MessageHeader header,
+                              Payload body, const FaultOutcome& outcome) {
+  // Dedup first: a retransmit racing its own late ack must not reach the
+  // broker twice. Re-ack duplicates — the original ack may have been lost.
+  {
+    std::scoped_lock lock(recv_mu_);
+    if (seq <= recv_floor_ || recv_seen_.count(seq) != 0) {
+      if (inst_.duplicates != nullptr) inst_.duplicates->inc();
+      send_ack(seq);
+      return;
+    }
+  }
+  body = apply_corruption(std::move(body), outcome);
+  if (!receiver_.deliver_remote(header, std::move(body))) {
+    // Integrity reject: withhold the ack so the retransmitter repairs it.
+    return;
+  }
+  {
+    std::scoped_lock lock(recv_mu_);
+    recv_seen_.insert(seq);
+    while (recv_seen_.erase(recv_floor_ + 1) != 0) ++recv_floor_;
+  }
+  send_ack(seq);
+}
+
+void ReliableChannel::send_ack(std::uint64_t seq) {
+  if (!ack_sender_) return;
+  if (inst_.acks != nullptr) inst_.acks->inc();
+  ack_sender_(seq);
+}
+
+void ReliableChannel::on_ack(std::uint64_t seq) {
+  bool erased = false;
+  {
+    std::scoped_lock lock(mu_);
+    erased = pending_.erase(seq) != 0;
+  }
+  if (erased) cv_.notify_one();
+}
+
+void ReliableChannel::retransmit_loop() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    if (pending_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    std::int64_t earliest = pending_.begin()->second.deadline_ns;
+    for (const auto& [seq, entry] : pending_) {
+      earliest = std::min(earliest, entry.deadline_ns);
+    }
+    const std::int64_t now = now_ns();
+    if (earliest > now) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(earliest - now));
+      continue;
+    }
+    // Collect everything past deadline, then retransmit outside the lock so
+    // on_ack / send never contend with the (paced, potentially slow) pipe.
+    std::vector<std::pair<MessageHeader, Payload>> due;
+    std::uint64_t abandoned = 0;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      Pending& entry = it->second;
+      if (entry.deadline_ns > now) {
+        ++it;
+        continue;
+      }
+      if (entry.retries >= config_.max_retries) {
+        if (inst_.give_ups != nullptr) inst_.give_ups->inc();
+        ++abandoned;
+        it = pending_.erase(it);
+        continue;
+      }
+      ++entry.retries;
+      entry.rto_ns = std::min(
+          static_cast<std::int64_t>(
+              static_cast<double>(entry.rto_ns) * config_.backoff),
+          ms_to_ns(config_.max_rto_ms));
+      entry.deadline_ns = now + entry.rto_ns;
+      due.emplace_back(entry.header, entry.body);
+      ++it;
+    }
+    lock.unlock();
+    if (abandoned > 0) {
+      XT_LOG_WARN << "link " << name_ << ": abandoned " << abandoned
+                  << " frame(s) after " << config_.max_retries << " retries";
+    }
+    for (auto& [header, body] : due) {
+      if (inst_.retransmits != nullptr) inst_.retransmits->inc();
+      transmit(header.link_seq, header, body);
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace xt

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "comm/broker.h"
+#include "comm/message.h"
+#include "netsim/paced_pipe.h"
+#include "obs/metrics.h"
+
+namespace xt {
+
+/// Tuning for the per-link ack/retransmit protocol.
+struct ReliabilityConfig {
+  bool enabled = false;
+  double rto_ms = 50.0;        ///< initial retransmission timeout
+  double backoff = 2.0;        ///< RTO multiplier per retry
+  double max_rto_ms = 2000.0;  ///< RTO cap
+  std::uint32_t max_retries = 12;  ///< then the frame is abandoned
+  std::size_t ack_wire_bytes = 16; ///< modeled size of an ack frame
+};
+
+/// One direction of a reliable cross-machine link, layered on a lossy
+/// PacedPipe: every data frame carries a sequence number and a body CRC;
+/// the receiving side acks intact frames over the reverse pipe (so acks
+/// themselves can be lost or corrupted), dedups retransmitted ones, and a
+/// dedicated retransmitter thread re-sends anything unacked past its
+/// deadline with capped exponential backoff. The router thread only ever
+/// enqueues onto the pipe — it never blocks on the protocol.
+///
+/// Frames that exhaust max_retries are abandoned (counted as give-ups):
+/// in a DRL workload every stream is either redundant (rollouts — the
+/// learner trains on whatever arrives) or superseded (weights, heartbeats
+/// — a newer copy is already on the way), so bounded effort beats an
+/// ever-growing retransmit queue.
+class ReliableChannel {
+ public:
+  /// Sends an ack for `seq` back to the transmitting side (over the reverse
+  /// pipe, so it shares that direction's fault plan).
+  using AckSender = std::function<void(std::uint64_t seq)>;
+
+  struct Instruments {
+    Counter* retransmits = nullptr;  ///< xt_retransmits_total{link=...}
+    Counter* give_ups = nullptr;
+    Counter* duplicates = nullptr;   ///< retransmitted frames already seen
+    Counter* acks = nullptr;
+  };
+
+  ReliableChannel(std::string name, ReliabilityConfig config,
+                  PacedPipe& data_pipe, Broker& receiver, Instruments inst);
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Must be installed during fabric wiring, before any traffic flows.
+  void set_ack_sender(AckSender sender);
+
+  /// Transmit one message reliably. Called from the sending broker's router
+  /// thread; stamps seq + CRC, tracks the frame for retransmission, and
+  /// enqueues it on the pipe (non-blocking).
+  void send(MessageHeader header, Payload body);
+
+  /// Ack received from the far side; forgets the pending frame.
+  void on_ack(std::uint64_t seq);
+
+  /// Stop the retransmitter thread (idempotent). Pending frames are
+  /// abandoned; call after the underlying pipes are quiescent.
+  void stop();
+
+  [[nodiscard]] std::uint64_t retransmits() const {
+    return inst_.retransmits != nullptr ? inst_.retransmits->value() : 0;
+  }
+  [[nodiscard]] std::uint64_t give_ups() const {
+    return inst_.give_ups != nullptr ? inst_.give_ups->value() : 0;
+  }
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Pending {
+    MessageHeader header;
+    Payload body;
+    std::int64_t deadline_ns = 0;
+    std::int64_t rto_ns = 0;
+    std::uint32_t retries = 0;
+  };
+
+  void transmit(std::uint64_t seq, const MessageHeader& header,
+                const Payload& body);
+  /// Runs on the data pipe's transmit thread when a frame survives the wire.
+  void deliver(std::uint64_t seq, MessageHeader header, Payload body,
+               const FaultOutcome& outcome);
+  void send_ack(std::uint64_t seq);
+  void retransmit_loop();
+
+  const std::string name_;
+  const ReliabilityConfig config_;
+  PacedPipe& pipe_;
+  Broker& receiver_;
+  const Instruments inst_;
+  AckSender ack_sender_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Pending> pending_;  ///< ordered: oldest seq first
+  std::uint64_t next_seq_ = 1;
+  bool stopping_ = false;
+
+  // Receiver-side dedup state: everything <= floor was delivered, plus the
+  // out-of-order set above it.
+  std::mutex recv_mu_;
+  std::uint64_t recv_floor_ = 0;
+  std::unordered_set<std::uint64_t> recv_seen_;
+
+  std::thread retransmitter_;
+};
+
+}  // namespace xt

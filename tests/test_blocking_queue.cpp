@@ -80,6 +80,37 @@ TEST(BlockingQueue, ClosedQueueDrainsRemainingItems) {
   EXPECT_FALSE(q.pop().has_value());
 }
 
+TEST(BlockingQueue, PopForReturnsPromptlyWhenClosedMidWait) {
+  // A consumer parked in pop_for must wake on close() well before its
+  // timeout — this is how every worker thread in the runtime shuts down.
+  BlockingQueue<int> q;
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    const auto result = q.pop_for(std::chrono::seconds(30));
+    EXPECT_FALSE(result.has_value());
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(done.load());
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(BlockingQueue, PopForDrainsClosedQueueThenReturnsNullopt) {
+  // close() must not discard staged elements: pop_for keeps yielding them
+  // (with no timeout wait) until the queue is empty, then reports closure.
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(1)).value(), 1);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(1)).value(), 2);
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(1)).has_value());
+  // And again: a drained closed queue stays terminal.
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(1)).has_value());
+}
+
 TEST(BlockingQueue, BoundedQueueRejectsTryPushWhenFull) {
   BlockingQueue<int> q(2);
   EXPECT_TRUE(q.try_push(1));

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
+
 #include <thread>
 
 namespace xt {
@@ -114,6 +116,51 @@ TEST(BrokerEndpoint, UnknownDestinationIsDroppedAndCounted) {
   }
   EXPECT_EQ(broker.dropped_messages(), 1u);
   EXPECT_EQ(broker.store().live_objects(), 0u);  // claim released
+  // The drop is attributed to its reason, not just the total.
+  EXPECT_EQ(broker.dropped_messages(DropReason::kUnknownDest), 1u);
+  EXPECT_EQ(broker.dropped_messages(DropReason::kCrcFail), 0u);
+}
+
+TEST(BrokerEndpoint, DeliverRemoteRejectsCrcMismatch) {
+  Broker broker(0);
+  Endpoint receiver(learner_id(0), broker);
+
+  Bytes body = {1, 2, 3, 4, 5, 6, 7, 8};
+  MessageHeader header;
+  header.msg_id = next_message_id();
+  header.src = explorer_id(1, 0);
+  header.dsts = {receiver.id()};
+  header.type = MsgType::kDummy;
+  header.body_size = body.size();
+  header.crc_present = true;
+  header.body_crc = crc32(body) ^ 0xDEADBEEF;  // simulated wire corruption
+
+  EXPECT_FALSE(broker.deliver_remote(header, make_payload(Bytes(body))));
+  EXPECT_EQ(broker.corrupted_frames(), 1u);
+  EXPECT_EQ(broker.dropped_messages(DropReason::kCrcFail), 1u);
+  EXPECT_FALSE(receiver.try_receive().has_value());
+
+  // The same frame with the right CRC sails through.
+  header.body_crc = crc32(body);
+  EXPECT_TRUE(broker.deliver_remote(header, make_payload(Bytes(body))));
+  const auto msg = receiver.receive_for(std::chrono::seconds(5));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(*msg->body, body);
+  EXPECT_EQ(broker.corrupted_frames(), 1u);  // unchanged
+}
+
+TEST(BrokerEndpoint, DeliverRemoteWithoutLocalDestinationStillAcks) {
+  // A routing miss is not an integrity failure: retransmitting cannot help,
+  // so deliver_remote reports success and counts the drop separately.
+  Broker broker(0);
+  MessageHeader header;
+  header.msg_id = next_message_id();
+  header.src = explorer_id(1, 0);
+  header.dsts = {learner_id(2)};  // nothing on machine 0
+  header.type = MsgType::kDummy;
+  header.body_size = 4;
+  EXPECT_TRUE(broker.deliver_remote(header, bytes_payload(4, 9)));
+  EXPECT_EQ(broker.dropped_messages(DropReason::kNoLocalDest), 1u);
 }
 
 TEST(BrokerEndpoint, CompressionAppliedAboveThreshold) {

@@ -58,6 +58,74 @@ TEST_F(CheckpointTest, LoadRejectsCorruptFile) {
   EXPECT_FALSE(Checkpointer::load(path_).has_value());
 }
 
+TEST_F(CheckpointTest, LoadRejectsMagicOnlyFile) {
+  // An interrupted (hypothetical version-0) writer could leave just the
+  // magic — or magic + format — on disk. Such stubs must never load.
+  {
+    std::FILE* file = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const std::uint32_t magic_and_version[2] = {0x50435458u, 0u};
+    std::fwrite(magic_and_version, sizeof(magic_and_version), 1, file);
+    std::fclose(file);
+  }
+  EXPECT_FALSE(Checkpointer::load(path_).has_value());
+}
+
+TEST_F(CheckpointTest, LoadRejectsTruncatedPayload) {
+  Checkpointer checkpointer(path_, 1);
+  ASSERT_TRUE(checkpointer.save({1, 2, 3, 4, 5, 6, 7, 8}, 3, 100));
+  // Chop the tail off the payload: the length prefix now claims more bytes
+  // than the file holds.
+  std::FILE* file = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  Bytes data(static_cast<std::size_t>(size));
+  ASSERT_EQ(std::fread(data.data(), 1, data.size(), file), data.size());
+  std::fclose(file);
+  data.resize(data.size() - 3);
+  file = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fwrite(data.data(), 1, data.size(), file);
+  std::fclose(file);
+  EXPECT_FALSE(Checkpointer::load(path_).has_value());
+}
+
+TEST_F(CheckpointTest, LoadRejectsTrailingGarbage) {
+  // A payload length that undershoots the file (e.g. two checkpoints
+  // concatenated by a broken copy) must also be rejected: the prefix no
+  // longer accounts for the file's actual size.
+  Checkpointer checkpointer(path_, 1);
+  ASSERT_TRUE(checkpointer.save({1, 2, 3}, 3, 100));
+  std::FILE* file = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(file, nullptr);
+  const char junk[] = "junk";
+  std::fwrite(junk, 1, sizeof(junk), file);
+  std::fclose(file);
+  EXPECT_FALSE(Checkpointer::load(path_).has_value());
+}
+
+TEST_F(CheckpointTest, LoadRejectsOversizedLengthPrefix) {
+  // Hand-craft a header whose payload length prefix claims far more than
+  // the file contains; the bounds-checked reader must fail cleanly.
+  {
+    std::FILE* file = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const std::uint32_t magic = 0x50435458u, format = 1u, version = 2u;
+    const std::uint64_t steps = 50, claimed_len = 1u << 30;
+    std::fwrite(&magic, sizeof(magic), 1, file);
+    std::fwrite(&format, sizeof(format), 1, file);
+    std::fwrite(&version, sizeof(version), 1, file);
+    std::fwrite(&steps, sizeof(steps), 1, file);
+    std::fwrite(&claimed_len, sizeof(claimed_len), 1, file);
+    const char partial[] = "abc";
+    std::fwrite(partial, 1, sizeof(partial), file);
+    std::fclose(file);
+  }
+  EXPECT_FALSE(Checkpointer::load(path_).has_value());
+}
+
 TEST_F(CheckpointTest, NewerSaveOverwritesOlder) {
   Checkpointer checkpointer(path_, 1);
   ASSERT_TRUE(checkpointer.save({1}, 1, 10));

@@ -72,6 +72,67 @@ stats_line_every_s = 2.5
   EXPECT_EQ(config->setup.ppo.n_explorers, 32u);
 }
 
+TEST(ConfigFile, ParsesFaultsSection) {
+  const std::string text = R"(
+[faults]
+seed = 99
+drop_prob = 0.02
+corrupt_prob = 0.01
+delay_prob = 0.05
+delay_ms = 3.5
+blackout_start_s = 10
+blackout_duration_s = 2
+blackout_every_s = 30
+reliable = on
+retransmit_timeout_ms = 25
+retransmit_backoff = 1.5
+retransmit_max_ms = 400
+retransmit_max_retries = 6
+supervision = on
+heartbeat_every_s = 0.2
+heartbeat_timeout_s = 1.0
+max_worker_restarts = 5
+checkpoint = /tmp/run.ckpt
+checkpoint_every_versions = 10
+)";
+  std::string error;
+  const auto config = parse_launch_config(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  const FaultPlan& faults = config->deployment.link.faults;
+  EXPECT_EQ(faults.seed, 99u);
+  EXPECT_DOUBLE_EQ(faults.drop_probability, 0.02);
+  EXPECT_DOUBLE_EQ(faults.corrupt_probability, 0.01);
+  EXPECT_DOUBLE_EQ(faults.delay_probability, 0.05);
+  EXPECT_EQ(faults.delay_ns, 3'500'000);
+  EXPECT_DOUBLE_EQ(faults.blackout_start_s, 10.0);
+  EXPECT_DOUBLE_EQ(faults.blackout_duration_s, 2.0);
+  EXPECT_DOUBLE_EQ(faults.blackout_every_s, 30.0);
+  EXPECT_TRUE(faults.enabled());
+
+  EXPECT_TRUE(config->deployment.reliability.enabled);
+  EXPECT_DOUBLE_EQ(config->deployment.reliability.rto_ms, 25.0);
+  EXPECT_DOUBLE_EQ(config->deployment.reliability.backoff, 1.5);
+  EXPECT_DOUBLE_EQ(config->deployment.reliability.max_rto_ms, 400.0);
+  EXPECT_EQ(config->deployment.reliability.max_retries, 6u);
+
+  EXPECT_TRUE(config->deployment.supervision.enabled);
+  EXPECT_DOUBLE_EQ(config->deployment.supervision.heartbeat_every_s, 0.2);
+  EXPECT_DOUBLE_EQ(config->deployment.supervision.heartbeat_timeout_s, 1.0);
+  EXPECT_EQ(config->deployment.supervision.max_restarts_per_worker, 5u);
+  EXPECT_EQ(config->deployment.checkpoint_path, "/tmp/run.ckpt");
+  EXPECT_EQ(config->deployment.checkpoint_every_versions, 10u);
+}
+
+TEST(ConfigFile, FaultsSectionRejectsBadValues) {
+  std::string error;
+  EXPECT_FALSE(parse_launch_config("[faults]\ndrop_prob = lots\n", &error));
+  EXPECT_NE(error.find("bad drop_prob"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[faults]\nreliable = maybe\n"));
+  EXPECT_FALSE(parse_launch_config("[faults]\nretransmit_max_retries = many\n"));
+  EXPECT_FALSE(parse_launch_config("[faults]\nnonsense = 1\n", &error));
+  EXPECT_NE(error.find("unknown [faults] key"), std::string::npos);
+}
+
 TEST(ConfigFile, AllAlgorithmKinds) {
   for (const auto& [name, kind] :
        std::vector<std::pair<std::string, AlgoKind>>{{"dqn", AlgoKind::kDqn},

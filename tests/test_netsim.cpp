@@ -154,6 +154,69 @@ TEST(Fabric, RemoteTransmissionIsBandwidthBound) {
   fabric.stop();
 }
 
+TEST(PacedPipe, FullDropPlanDeliversNothingButCountsFrames) {
+  LinkConfig link{1e9, 0, 0};
+  link.faults.drop_probability = 1.0;
+  PacedPipe pipe("lossy", link);
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pipe.send(8, [&] { delivered.fetch_add(1); }));
+  }
+  pipe.stop();
+  EXPECT_EQ(delivered.load(), 0);
+  EXPECT_EQ(pipe.frames_dropped(), 20u);
+  // Dropped frames still occupied the wire (send-side pacing happened).
+  EXPECT_EQ(pipe.frames_transferred(), 20u);
+}
+
+TEST(PacedPipe, FullCorruptionPlanFlagsEveryDeliveredFrame) {
+  LinkConfig link{1e9, 0, 0};
+  link.faults.corrupt_probability = 1.0;
+  PacedPipe pipe("noisy", link);
+  std::atomic<int> corrupted{0};
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pipe.send_faultable(8, [&](const FaultOutcome& outcome) {
+      delivered.fetch_add(1);
+      if (outcome.corrupt) {
+        EXPECT_NE(outcome.corrupt_mask, 0);  // XOR mask always flips a bit
+        corrupted.fetch_add(1);
+      }
+    }));
+  }
+  pipe.stop();
+  EXPECT_EQ(delivered.load(), 20);
+  EXPECT_EQ(corrupted.load(), 20);
+  EXPECT_EQ(pipe.frames_dropped(), 0u);
+}
+
+TEST(PacedPipe, BlackoutWindowDropsFramesInsideIt) {
+  // Window opens immediately and never closes: everything is blacked out.
+  LinkConfig link{1e9, 0, 0};
+  link.faults.blackout_start_s = 0.0;
+  link.faults.blackout_duration_s = 3600.0;
+  PacedPipe pipe("dark", link);
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pipe.send(8, [&] { delivered.fetch_add(1); }));
+  }
+  pipe.stop();
+  EXPECT_EQ(delivered.load(), 0);
+  EXPECT_EQ(pipe.frames_dropped(), 5u);
+}
+
+TEST(FaultPlan, BlackoutWindowsRepeatWithPeriod) {
+  FaultPlan plan;
+  plan.blackout_start_s = 1.0;
+  plan.blackout_duration_s = 0.5;
+  plan.blackout_every_s = 2.0;
+  EXPECT_FALSE(plan.blackout_at(0.5));  // before the first window
+  EXPECT_TRUE(plan.blackout_at(1.2));   // inside the first window
+  EXPECT_FALSE(plan.blackout_at(1.7));  // between windows
+  EXPECT_TRUE(plan.blackout_at(3.3));   // second period's window
+  EXPECT_FALSE(plan.blackout_at(3.8));
+}
+
 TEST(Fabric, ThreeMachineStarThroughLearnerCenter) {
   std::vector<std::unique_ptr<Broker>> brokers;
   for (std::uint16_t m = 0; m < 3; ++m) brokers.push_back(std::make_unique<Broker>(m));
