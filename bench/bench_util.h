@@ -54,9 +54,16 @@ inline void shape_check(const std::string& description, bool ok) {
 /// `xt_learner_train_ms` / `xt_pull_train_ms`) via RunReport.
 inline void print_time_breakdown(const char* label, const RunReport& report) {
   std::printf(
-      "  %-10s rollout=%.1fms transmission=%.1fms wait=%.1fms train=%.1fms\n",
+      "  %-10s rollout=%.1fms transmission=%.1fms wait=%.1fms train=%.1fms",
       label, report.mean_rollout_ms, report.mean_transmission_ms,
       report.mean_wait_ms, report.mean_train_ms);
+  if (report.gemm_flops > 0) {
+    // Kernel attribution (xt_gemm_ms / xt_gemm_flops_total): how much of
+    // the train/rollout time above is matmul arithmetic.
+    std::printf(" gemm=%.3fms/call %.2fGFLOP", report.mean_gemm_ms,
+                static_cast<double>(report.gemm_flops) / 1e9);
+  }
+  std::printf("\n");
 }
 
 /// Print the shape summary; returns the process exit code.

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xt {
+
+/// Fixed pool of worker threads driving chunked data-parallel loops.
+///
+/// parallel_for() splits [0, n) into contiguous chunks that workers (and the
+/// calling thread, which always participates) claim dynamically. Below the
+/// grain size — or with no workers — the loop runs inline on the caller, so
+/// small ranges pay nothing beyond one branch. Concurrent parallel_for calls
+/// from different threads are safe: each call is an independent job and
+/// workers drain jobs in FIFO order.
+///
+/// Chunking never splits an index, so a body that writes only its own
+/// indices (the compute kernels partition output rows this way) produces
+/// results independent of worker count and chunk boundaries.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 workers is valid: every parallel_for then
+  /// runs inline.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+  /// Run body(begin, end) over contiguous subranges covering [0, n).
+  /// Chunks hold at least `grain` indices (the last may be shorter only
+  /// because n is exhausted). Returns when every chunk has finished.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Job;
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// ---- process-global compute pool -----------------------------------------
+//
+// The NN kernels (and anything else with a data-parallel hot loop) share one
+// process-wide pool so a machine full of explorers does not oversubscribe
+// itself with one pool per worker. Configured via `[compute] threads` in the
+// launch config:
+//   -1  auto: std::thread::hardware_concurrency()
+//    0  serial: kernels run their scalar reference path, bit-identical to
+//       the pre-pool implementation (deterministic-tests mode)
+//    N  N compute threads total (a pool of N-1 workers plus the caller)
+
+/// Set the configured compute-thread count (see above). Safe at any time;
+/// in-flight parallel loops keep the pool they started with.
+void set_compute_threads(int threads);
+
+/// Resolved compute-thread count: 0 = serial, otherwise >= 1.
+[[nodiscard]] int compute_threads();
+
+/// The shared pool, or nullptr when compute_threads() <= 1 (nothing to farm
+/// out). Hold the returned shared_ptr for the duration of use.
+[[nodiscard]] std::shared_ptr<ThreadPool> compute_pool();
+
+/// Run body over [0, n) on the shared compute pool when it pays off, inline
+/// otherwise (serial mode, no pool, or n <= grain).
+void compute_parallel_for(std::size_t n, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace xt

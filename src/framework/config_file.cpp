@@ -369,6 +369,24 @@ bool apply_faults_key(LaunchConfig& config, const std::string& key,
   return fail(error, line, "unknown [faults] key '" + key + "'");
 }
 
+bool apply_compute_key(LaunchConfig& config, const std::string& key,
+                       const std::string& value, int line, std::string* error) {
+  if (key == "threads") {
+    if (value == "auto") {
+      config.deployment.compute_threads = -1;
+      return true;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || parsed < -1 || parsed > 4096) {
+      return fail(error, line, "bad threads (want auto, -1, 0, or a count)");
+    }
+    config.deployment.compute_threads = static_cast<int>(parsed);
+    return true;
+  }
+  return fail(error, line, "unknown [compute] key '" + key + "'");
+}
+
 }  // namespace
 
 std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
@@ -393,7 +411,7 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       }
       section = text.substr(1, text.size() - 2);
       if (section != "algorithm" && section != "deployment" &&
-          section != "faults") {
+          section != "faults" && section != "compute") {
         fail(error, line, "unknown section [" + section + "]");
         return std::nullopt;
       }
@@ -416,6 +434,8 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       ok = apply_algorithm_key(config, key, value, line, error);
     } else if (section == "deployment") {
       ok = apply_deployment_key(config, key, value, line, error);
+    } else if (section == "compute") {
+      ok = apply_compute_key(config, key, value, line, error);
     } else {
       ok = apply_faults_key(config, key, value, line, error);
     }

@@ -36,6 +36,10 @@ namespace xt {
 /// prometheus_dump = run.prom      # final metrics in Prometheus text format
 /// stats_line_every_s = 5          # periodic INFO stats line
 ///
+/// [compute]                       # NN kernel pool (see DESIGN.md)
+/// threads = auto                  # auto | -1 (hardware), 0 (serial,
+///                                 # bit-exact deterministic mode), or N
+///
 /// [faults]                        # chaos fabric + self-healing (all optional)
 /// seed = 11                       # deterministic fault schedule
 /// drop_prob = 0.01                # per-frame drop probability

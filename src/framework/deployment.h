@@ -51,6 +51,13 @@ struct DeploymentConfig {
   /// Weight versions between checkpoint saves.
   std::uint32_t checkpoint_every_versions = 25;
 
+  /// Compute-thread count for the NN kernels (`[compute] threads`):
+  /// -1 = auto (hardware_concurrency), 0 = serial scalar-reference kernels
+  /// (bit-exact with pre-pool runs, the deterministic-tests mode), N = a
+  /// shared pool of N compute threads. Applied process-wide at runtime
+  /// construction (the pool is shared across all workers of the process).
+  int compute_threads = -1;
+
   /// Bound on each explorer's send buffer (0 = unbounded). A bounded buffer
   /// gives the same backpressure as the Python system's fixed-size plasma
   /// store: an explorer that outruns the channel blocks instead of queueing
@@ -103,6 +110,11 @@ struct RunReport {
   /// Replay sampling latency per session (DQN only; 0 otherwise) — the
   /// learner-local vs replay-actor contrast of paper Fig. 9(b).
   double mean_replay_sample_ms = 0.0;
+  /// Compute-kernel attribution (from `xt_gemm_ms` / `xt_gemm_flops_total`):
+  /// how much of train/rollout time is matmul, and how much arithmetic the
+  /// run performed. Split by role via the labeled series in `prometheus`.
+  double mean_gemm_ms = 0.0;        ///< mean wall time per matmul call
+  std::uint64_t gemm_flops = 0;     ///< total multiply-add flops (2mnk sums)
   std::vector<std::pair<double, double>> wait_cdf;  ///< (ms, fraction)
 
   // Communication volume.

@@ -3,6 +3,7 @@
 #include "common/clock.h"
 #include "common/log.h"
 #include "common/thread_util.h"
+#include "nn/matrix.h"
 #include "serial/record.h"
 
 namespace xt {
@@ -27,13 +28,18 @@ ExplorerProcess::ExplorerProcess(NodeId node, std::uint32_t explorer_index,
       env_steps_counter_(broker.metrics().counter(
           "xt_explorer_env_steps_total{machine=\"" + std::to_string(node.machine) + "\"}")),
       batches_counter_(broker.metrics().counter(
-          "xt_explorer_batches_total{machine=\"" + std::to_string(node.machine) + "\"}")) {
+          "xt_explorer_batches_total{machine=\"" + std::to_string(node.machine) + "\"}")),
+      metrics_(broker.metrics()) {
   if (config.supervision.enabled) {
     heartbeat_ = std::make_unique<Heartbeater>(
         endpoint_, node_, controller_, config.supervision.heartbeat_every_s);
   }
   worker_ = std::thread([this] {
     set_current_thread_name("work-" + node_.name());
+    // Attribute this thread's matmul time/flops (rollout inference) to the
+    // run's registry, split from the learner's by the role label.
+    nn::bind_kernel_metrics(&metrics_, "role=\"explorer\",machine=\"" +
+                                           std::to_string(node_.machine) + "\"");
     worker_loop();
   });
 }

@@ -3,6 +3,7 @@
 #include "common/clock.h"
 #include "common/log.h"
 #include "common/thread_util.h"
+#include "nn/matrix.h"
 #include "serial/record.h"
 
 namespace xt {
@@ -18,6 +19,7 @@ LearnerProcess::LearnerProcess(NodeId node, Broker& broker,
       endpoint_(node, broker),
       algorithm_(std::move(algorithm)),
       trace_(broker.trace()),
+      metrics_(broker.metrics()),
       wait_hist_(broker.metrics().histogram(
           "xt_learner_wait_ms{machine=\"" + std::to_string(node.machine) + "\"}")),
       train_hist_(broker.metrics().histogram(
@@ -34,6 +36,10 @@ LearnerProcess::LearnerProcess(NodeId node, Broker& broker,
   }
   trainer_ = std::thread([this] {
     set_current_thread_name("train-" + node_.name());
+    // Attribute this thread's matmul time/flops to the run's registry
+    // (train vs. infer kernel split in RunReport / bench_fig7_time).
+    nn::bind_kernel_metrics(&metrics_, "role=\"learner\",machine=\"" +
+                                           std::to_string(node_.machine) + "\"");
     trainer_loop();
   });
 }

@@ -83,6 +83,7 @@ class LearnerProcess {
   // Telemetry: histogram twins of the LatencyRecorders below (exported via
   // Prometheus / the runtime stats line) plus "app"-category trace spans.
   TraceCollector* trace_;
+  MetricsRegistry& metrics_;
   Histogram& wait_hist_;
   Histogram& train_hist_;
 

@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "common/log.h"
+#include "common/thread_pool.h"
 #include "common/thread_util.h"
 #include "envs/registry.h"
 #include "framework/checkpoint.h"
@@ -50,6 +51,11 @@ XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
   const auto n_machines = static_cast<std::uint16_t>(config_.explorers_per_machine.size());
   assert(n_machines >= 1);
   assert(config_.learner_machine < n_machines);
+
+  // Size the shared NN-kernel pool before any worker thread can touch a
+  // matmul. Process-wide by design: one pool serves every explorer and the
+  // learner instead of one pool per worker oversubscribing the host.
+  set_compute_threads(config_.compute_threads);
 
   // Per-runtime telemetry: private registry + trace ring, injected into
   // every broker below so concurrent runtimes (tests, PBT populations) do
@@ -345,6 +351,8 @@ RunReport XingTianRuntime::run() {
   report.mean_wait_ms = family_mean(*metrics_, "xt_learner_wait_ms");
   report.mean_train_ms = family_mean(*metrics_, "xt_learner_train_ms");
   report.mean_rollout_ms = family_mean(*metrics_, "xt_explorer_rollout_ms");
+  report.mean_gemm_ms = family_mean(*metrics_, "xt_gemm_ms");
+  report.gemm_flops = family_total(*metrics_, "xt_gemm_flops_total");
   if (const LatencyRecorder* sample = learner_->algorithm().replay_sample_latency()) {
     report.mean_replay_sample_ms = sample->mean();
   }

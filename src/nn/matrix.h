@@ -1,9 +1,14 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+
+namespace xt {
+class MetricsRegistry;
+}
 
 namespace xt::nn {
 
@@ -43,6 +48,9 @@ class Matrix {
   /// this *= s.
   void scale_inplace(float s);
 
+  /// Exact bitwise equality (shape and every float). Use only where exact
+  /// reproducibility is the point (the serial-determinism contract, wire
+  /// round-trips); numeric comparisons belong with allclose().
   bool operator==(const Matrix&) const = default;
 
  private:
@@ -51,15 +59,45 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// True when a and b have the same shape and every element differs by at
+/// most `atol + rtol * |b|` — the right comparison wherever two float
+/// pipelines (blocked vs scalar kernels, serialized round-trips through
+/// training) are expected to agree only up to rounding.
+[[nodiscard]] bool allclose(const Matrix& a, const Matrix& b, float atol = 1e-5f,
+                            float rtol = 1e-6f);
+
 /// C = A (m x k) * B (k x n).
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
 /// C = A^T (k x m -> m x k view) * B; used for weight gradients dW = X^T dY.
 [[nodiscard]] Matrix matmul_at(const Matrix& a, const Matrix& b);
 /// C = A * B^T; used for input gradients dX = dY W^T.
 [[nodiscard]] Matrix matmul_bt(const Matrix& a, const Matrix& b);
+/// C = A * B + bias broadcast over rows — the fused MLP layer forward.
+/// In serial mode decomposes into reference::matmul + add_row_inplace so
+/// the result stays bit-identical to the pre-fusion pipeline.
+[[nodiscard]] Matrix matmul_bias(const Matrix& a, const Matrix& b, const Matrix& bias_row);
 /// Add a 1 x n bias row to every row of X, in place.
 void add_row_inplace(Matrix& x, const Matrix& bias_row);
 /// 1 x n column sums of X (bias gradient).
 [[nodiscard]] Matrix col_sums(const Matrix& x);
+
+/// The retained scalar kernels — the exact pre-optimization implementations,
+/// built in their own translation unit with the project's stock flags. They
+/// are the ground truth the blocked/pooled kernels are property-tested
+/// against, the bit-exact path `[compute] threads = 0` dispatches to, and
+/// the "pre-PR scalar" baseline bench_kernels reports GFLOP/s against.
+namespace reference {
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix matmul_at(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix matmul_bt(const Matrix& a, const Matrix& b);
+}  // namespace reference
+
+/// Record per-kernel telemetry for matmuls run on the calling thread into
+/// `registry`: `xt_gemm_ms{labels}` (histogram, wall time per call) and
+/// `xt_gemm_flops_total{labels}` (counter, 2*m*n*k per call). Handles are
+/// resolved once here, so the kernels pay two relaxed atomics per call.
+/// Thread-local: worker threads bind their runtime's registry at loop
+/// entry; pass nullptr to unbind (e.g. before the registry dies).
+void bind_kernel_metrics(MetricsRegistry* registry, const std::string& labels = "");
 
 }  // namespace xt::nn

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "serial/binio.h"
 
 namespace xt::nn {
@@ -27,33 +28,57 @@ std::size_t Mlp::output_dim() const {
   return layers_.empty() ? input_dim_ : layers_.back().weight.cols();
 }
 
+namespace {
+
+// Elementwise loops are chunk-invariant (each element is computed on its
+// own), so pooling them never changes results, even against serial mode.
+constexpr std::size_t kActivationGrain = 1 << 14;
+
+}  // namespace
+
 void Mlp::apply_activation(Matrix& m, Activation act) {
+  float* v = m.data().data();
   switch (act) {
     case Activation::kIdentity:
       return;
     case Activation::kRelu:
-      for (auto& v : m.data()) v = v > 0.0f ? v : 0.0f;
+      compute_parallel_for(m.size(), kActivationGrain,
+                           [v](std::size_t b, std::size_t e) {
+                             for (std::size_t i = b; i < e; ++i)
+                               v[i] = v[i] > 0.0f ? v[i] : 0.0f;
+                           });
       return;
     case Activation::kTanh:
-      for (auto& v : m.data()) v = std::tanh(v);
+      compute_parallel_for(m.size(), kActivationGrain,
+                           [v](std::size_t b, std::size_t e) {
+                             for (std::size_t i = b; i < e; ++i) v[i] = std::tanh(v[i]);
+                           });
       return;
   }
 }
 
 void Mlp::apply_activation_grad(Matrix& grad, const Matrix& preact, Activation act) {
+  float* g = grad.data().data();
+  const float* z = preact.data().data();
   switch (act) {
     case Activation::kIdentity:
       return;
     case Activation::kRelu:
-      for (std::size_t i = 0; i < grad.data().size(); ++i) {
-        if (preact.data()[i] <= 0.0f) grad.data()[i] = 0.0f;
-      }
+      compute_parallel_for(grad.size(), kActivationGrain,
+                           [g, z](std::size_t b, std::size_t e) {
+                             for (std::size_t i = b; i < e; ++i) {
+                               if (z[i] <= 0.0f) g[i] = 0.0f;
+                             }
+                           });
       return;
     case Activation::kTanh:
-      for (std::size_t i = 0; i < grad.data().size(); ++i) {
-        const float t = std::tanh(preact.data()[i]);
-        grad.data()[i] *= 1.0f - t * t;
-      }
+      compute_parallel_for(grad.size(), kActivationGrain,
+                           [g, z](std::size_t b, std::size_t e) {
+                             for (std::size_t i = b; i < e; ++i) {
+                               const float t = std::tanh(z[i]);
+                               g[i] *= 1.0f - t * t;
+                             }
+                           });
       return;
   }
 }
@@ -61,8 +86,7 @@ void Mlp::apply_activation_grad(Matrix& grad, const Matrix& preact, Activation a
 Matrix Mlp::forward(const Matrix& x) const {
   Matrix h = x;
   for (const Layer& layer : layers_) {
-    Matrix z = matmul(h, layer.weight);
-    add_row_inplace(z, layer.bias);
+    Matrix z = matmul_bias(h, layer.weight, layer.bias);
     apply_activation(z, layer.activation);
     h = std::move(z);
   }
@@ -73,8 +97,7 @@ Matrix Mlp::forward_train(const Matrix& x) {
   Matrix h = x;
   for (Layer& layer : layers_) {
     layer.cached_input = h;
-    Matrix z = matmul(h, layer.weight);
-    add_row_inplace(z, layer.bias);
+    Matrix z = matmul_bias(h, layer.weight, layer.bias);
     layer.cached_preact = z;
     apply_activation(z, layer.activation);
     h = std::move(z);

@@ -3,7 +3,17 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace xt::nn {
+
+namespace {
+
+// The update rules are elementwise, so chunking onto the compute pool never
+// changes results (each index is computed independently, serial included).
+constexpr std::size_t kStepGrain = 1 << 14;
+
+}  // namespace
 
 Sgd::Sgd(float lr, float momentum) : lr_(lr), momentum_(momentum) {}
 
@@ -19,10 +29,13 @@ void Sgd::step(const std::vector<Matrix*>& params,
     const auto& g = grads[i]->data();
     auto& vel = velocity_[i];
     assert(p.size() == g.size());
-    for (std::size_t j = 0; j < p.size(); ++j) {
-      vel[j] = momentum_ * vel[j] + g[j];
-      p[j] -= lr_ * vel[j];
-    }
+    compute_parallel_for(p.size(), kStepGrain,
+                         [&p, &g, &vel, this](std::size_t b, std::size_t e) {
+                           for (std::size_t j = b; j < e; ++j) {
+                             vel[j] = momentum_ * vel[j] + g[j];
+                             p[j] -= lr_ * vel[j];
+                           }
+                         });
   }
 }
 
@@ -49,13 +62,17 @@ void Adam::step(const std::vector<Matrix*>& params,
     auto& m = m_[i];
     auto& v = v_[i];
     assert(p.size() == g.size());
-    for (std::size_t j = 0; j < p.size(); ++j) {
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
-      const float m_hat = m[j] / bias1;
-      const float v_hat = v[j] / bias2;
-      p[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    compute_parallel_for(
+        p.size(), kStepGrain,
+        [&p, &g, &m, &v, bias1, bias2, this](std::size_t b, std::size_t e) {
+          for (std::size_t j = b; j < e; ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+            const float m_hat = m[j] / bias1;
+            const float v_hat = v[j] / bias2;
+            p[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+          }
+        });
   }
 }
 

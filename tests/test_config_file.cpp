@@ -123,6 +123,27 @@ checkpoint_every_versions = 10
   EXPECT_EQ(config->deployment.checkpoint_every_versions, 10u);
 }
 
+TEST(ConfigFile, ComputeSection) {
+  auto config = parse_launch_config("[compute]\nthreads = 8\n");
+  ASSERT_TRUE(config);
+  EXPECT_EQ(config->deployment.compute_threads, 8);
+
+  config = parse_launch_config("[compute]\nthreads = 0\n");
+  ASSERT_TRUE(config);
+  EXPECT_EQ(config->deployment.compute_threads, 0);
+
+  config = parse_launch_config("[compute]\nthreads = auto\n");
+  ASSERT_TRUE(config);
+  EXPECT_EQ(config->deployment.compute_threads, -1);
+
+  std::string error;
+  EXPECT_FALSE(parse_launch_config("[compute]\nthreads = lots\n", &error));
+  EXPECT_NE(error.find("bad threads"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[compute]\nthreads = -2\n"));
+  EXPECT_FALSE(parse_launch_config("[compute]\nnonsense = 1\n", &error));
+  EXPECT_NE(error.find("unknown [compute] key"), std::string::npos);
+}
+
 TEST(ConfigFile, FaultsSectionRejectsBadValues) {
   std::string error;
   EXPECT_FALSE(parse_launch_config("[faults]\ndrop_prob = lots\n", &error));

@@ -51,13 +51,13 @@ TEST(Matrix, MatmulAtEqualsExplicitTranspose) {
   const Matrix c = matmul_at(a, b);  // a^T b: 4 x 3
   ASSERT_EQ(c.rows(), 4u);
   ASSERT_EQ(c.cols(), 3u);
+  Matrix expect(4, 3);
   for (std::size_t i = 0; i < 4; ++i) {
     for (std::size_t j = 0; j < 3; ++j) {
-      float expect = 0.0f;
-      for (std::size_t k = 0; k < 5; ++k) expect += a.at(k, i) * b.at(k, j);
-      EXPECT_NEAR(c.at(i, j), expect, 1e-5);
+      for (std::size_t k = 0; k < 5; ++k) expect.at(i, j) += a.at(k, i) * b.at(k, j);
     }
   }
+  EXPECT_TRUE(allclose(c, expect, 1e-5f));
 }
 
 TEST(Matrix, MatmulBtEqualsExplicitTranspose) {
@@ -67,13 +67,13 @@ TEST(Matrix, MatmulBtEqualsExplicitTranspose) {
   const Matrix c = matmul_bt(a, b);  // a b^T: 4 x 3
   ASSERT_EQ(c.rows(), 4u);
   ASSERT_EQ(c.cols(), 3u);
+  Matrix expect(4, 3);
   for (std::size_t i = 0; i < 4; ++i) {
     for (std::size_t j = 0; j < 3; ++j) {
-      float expect = 0.0f;
-      for (std::size_t k = 0; k < 6; ++k) expect += a.at(i, k) * b.at(j, k);
-      EXPECT_NEAR(c.at(i, j), expect, 1e-5);
+      for (std::size_t k = 0; k < 6; ++k) expect.at(i, j) += a.at(i, k) * b.at(j, k);
     }
   }
+  EXPECT_TRUE(allclose(c, expect, 1e-5f));
 }
 
 TEST(Matrix, AddRowInplaceBroadcastsBias) {
@@ -125,9 +125,7 @@ TEST(Matrix, IdentityMultiplication) {
   Rng rng(1);
   const Matrix x = Matrix::he_normal(3, 3, rng);
   const Matrix y = matmul(x, eye);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    EXPECT_NEAR(y.data()[i], x.data()[i], 1e-6);
-  }
+  EXPECT_TRUE(allclose(y, x, 1e-6f));
 }
 
 }  // namespace

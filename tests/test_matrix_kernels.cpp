@@ -1,0 +1,244 @@
+// Property tests for the blocked/pooled compute kernels (nn/matrix.cpp)
+// against the retained scalar reference (nn/matrix_ref.cpp), the serial
+// determinism contract, and a concurrency hammer over ThreadPool — the
+// latter is in the TSan CI job's target list.
+
+#include <atomic>
+#include <iterator>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/matrix.h"
+#include "obs/metrics.h"
+
+namespace xt::nn {
+namespace {
+
+/// Every test leaves the process in auto mode, whatever it configured.
+class MatrixKernels : public ::testing::Test {
+ protected:
+  void TearDown() override { set_compute_threads(-1); }
+
+  Matrix random(std::size_t rows, std::size_t cols, Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& v : m.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+    return m;
+  }
+};
+
+// Shapes that stress every edge of the blocking scheme: empty, single
+// row/column, the register-tile sizes (4, 16), one off them in both
+// directions, and non-multiples well above them.
+const std::size_t kShapes[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 33, 50, 64, 100};
+
+TEST_F(MatrixKernels, MatmulMatchesReferenceAcrossShapes) {
+  set_compute_threads(4);
+  Rng rng(101);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t m = kShapes[rng.uniform_index(std::size(kShapes))];
+    const std::size_t k = kShapes[rng.uniform_index(std::size(kShapes))];
+    const std::size_t n = kShapes[rng.uniform_index(std::size(kShapes))];
+    const Matrix a = random(m, k, rng);
+    const Matrix b = random(k, n, rng);
+    const Matrix got = matmul(a, b);
+    const Matrix want = reference::matmul(a, b);
+    ASSERT_TRUE(allclose(got, want, 1e-4f, 1e-5f))
+        << "matmul mismatch at m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST_F(MatrixKernels, MatmulAtMatchesReferenceAcrossShapes) {
+  set_compute_threads(4);
+  Rng rng(102);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t r = kShapes[rng.uniform_index(std::size(kShapes))];
+    const std::size_t m = kShapes[rng.uniform_index(std::size(kShapes))];
+    const std::size_t n = kShapes[rng.uniform_index(std::size(kShapes))];
+    const Matrix a = random(r, m, rng);
+    const Matrix b = random(r, n, rng);
+    const Matrix got = matmul_at(a, b);
+    const Matrix want = reference::matmul_at(a, b);
+    ASSERT_TRUE(allclose(got, want, 1e-4f, 1e-5f))
+        << "matmul_at mismatch at r=" << r << " m=" << m << " n=" << n;
+  }
+}
+
+TEST_F(MatrixKernels, MatmulBtMatchesReferenceAcrossShapes) {
+  set_compute_threads(4);
+  Rng rng(103);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t m = kShapes[rng.uniform_index(std::size(kShapes))];
+    const std::size_t k = kShapes[rng.uniform_index(std::size(kShapes))];
+    const std::size_t n = kShapes[rng.uniform_index(std::size(kShapes))];
+    const Matrix a = random(m, k, rng);
+    const Matrix b = random(n, k, rng);
+    const Matrix got = matmul_bt(a, b);
+    const Matrix want = reference::matmul_bt(a, b);
+    ASSERT_TRUE(allclose(got, want, 1e-4f, 1e-5f))
+        << "matmul_bt mismatch at m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST_F(MatrixKernels, MatmulBiasMatchesUnfusedPipeline) {
+  set_compute_threads(4);
+  Rng rng(104);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t m = kShapes[rng.uniform_index(std::size(kShapes))];
+    const std::size_t k = kShapes[rng.uniform_index(std::size(kShapes))];
+    const std::size_t n = kShapes[rng.uniform_index(std::size(kShapes))];
+    const Matrix a = random(m, k, rng);
+    const Matrix b = random(k, n, rng);
+    const Matrix bias = random(1, n, rng);
+    const Matrix got = matmul_bias(a, b, bias);
+    Matrix want = reference::matmul(a, b);
+    add_row_inplace(want, bias);
+    ASSERT_TRUE(allclose(got, want, 1e-4f, 1e-5f))
+        << "matmul_bias mismatch at m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+// The contract behind `[compute] threads = 0`: serial mode IS the scalar
+// reference, down to the last bit — exact == is the point here.
+TEST_F(MatrixKernels, SerialModeBitIdenticalToScalarReference) {
+  set_compute_threads(0);
+  Rng rng(105);
+  const Matrix a = random(37, 53, rng);
+  const Matrix b = random(53, 29, rng);
+  EXPECT_TRUE(matmul(a, b) == reference::matmul(a, b));
+  const Matrix c = random(37, 29, rng);
+  EXPECT_TRUE(matmul_at(a, c) == reference::matmul_at(a, c));
+  const Matrix d = random(11, 53, rng);
+  EXPECT_TRUE(matmul_bt(a, d) == reference::matmul_bt(a, d));
+}
+
+// Blocked-mode results must not depend on how many threads computed them:
+// each output element is owned by one chunk and accumulated in a fixed
+// order, so any thread count produces the same bits.
+TEST_F(MatrixKernels, BlockedResultsInvariantAcrossThreadCounts) {
+  Rng rng(106);
+  const Matrix a = random(123, 67, rng);
+  const Matrix b = random(67, 95, rng);
+  const Matrix bt = random(95, 67, rng);
+  set_compute_threads(1);
+  const Matrix c1 = matmul(a, b);
+  const Matrix at1 = matmul_at(a, matmul(a, b));
+  const Matrix bt1 = matmul_bt(a, bt);
+  for (int threads : {2, 3, 8}) {
+    set_compute_threads(threads);
+    EXPECT_TRUE(matmul(a, b) == c1) << "threads=" << threads;
+    EXPECT_TRUE(matmul_at(a, matmul(a, b)) == at1) << "threads=" << threads;
+    EXPECT_TRUE(matmul_bt(a, bt) == bt1) << "threads=" << threads;
+  }
+}
+
+TEST_F(MatrixKernels, KernelMetricsRecordTimeAndFlops) {
+  set_compute_threads(2);
+  MetricsRegistry registry;
+  bind_kernel_metrics(&registry, "role=\"test\"");
+  Rng rng(107);
+  const Matrix a = random(32, 48, rng);
+  const Matrix b = random(48, 16, rng);
+  (void)matmul(a, b);
+  (void)matmul_bias(a, b, random(1, 16, rng));
+  bind_kernel_metrics(nullptr);
+  (void)matmul(a, b);  // unbound: must not record
+  const auto& hist = registry.histogram("xt_gemm_ms{role=\"test\"}");
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(registry.counter("xt_gemm_flops_total{role=\"test\"}").value(),
+            2ull * 2 * 32 * 48 * 16);
+}
+
+TEST(MatrixAllclose, ShapeValueAndNanRules) {
+  const Matrix a = Matrix::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  Matrix b = a;
+  EXPECT_TRUE(allclose(a, b));
+  b.at(1, 1) += 5e-6f;
+  EXPECT_TRUE(allclose(a, b, 1e-4f));
+  EXPECT_FALSE(allclose(a, b, 1e-7f, 0.0f));
+  EXPECT_FALSE(allclose(a, Matrix::zeros(2, 3)));  // shape mismatch
+  b.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(allclose(a, b, 1e3f));
+}
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.parallel_for(hits.size(), 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, InlineBelowGrainAndWithNoWorkers) {
+  ThreadPool empty(0);
+  std::atomic<int> calls{0};
+  empty.parallel_for(100, 1, [&](std::size_t b, std::size_t e) {
+    calls.fetch_add(1);
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+
+  ThreadPool pool(4);
+  calls = 0;
+  pool.parallel_for(10, 100, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);  // n <= grain: one inline chunk
+  pool.parallel_for(0, 1, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);  // empty range: no call
+}
+
+// The TSan-covered hammer: many caller threads issue parallel_for against
+// one pool concurrently, each checking its own private accumulator.
+TEST(ThreadPool, ConcurrentCallersHammer) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int kRounds = 200;
+  constexpr std::size_t kN = 2'048;
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &failures] {
+      std::vector<std::uint32_t> out(kN, 0);
+      for (int round = 0; round < kRounds; ++round) {
+        pool.parallel_for(kN, 64, [&out](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) out[i] += static_cast<std::uint32_t>(i);
+        });
+      }
+      for (std::size_t i = 0; i < kN; ++i) {
+        if (out[i] != static_cast<std::uint32_t>(i) * kRounds) {
+          failures.fetch_add(1);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadPool, ComputeParallelForHonoursSerialMode) {
+  set_compute_threads(0);
+  std::atomic<int> calls{0};
+  compute_parallel_for(100'000, 10, [&](std::size_t b, std::size_t e) {
+    calls.fetch_add(1);
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100'000u);
+  });
+  EXPECT_EQ(calls.load(), 1);  // serial: one inline chunk, no pool
+  EXPECT_EQ(compute_pool(), nullptr);
+  set_compute_threads(3);
+  EXPECT_NE(compute_pool(), nullptr);
+  EXPECT_EQ(compute_pool()->workers(), 2u);  // caller is the third thread
+  set_compute_threads(-1);
+}
+
+}  // namespace
+}  // namespace xt::nn
