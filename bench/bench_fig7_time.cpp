@@ -11,6 +11,8 @@
 
 #include "bench_util.h"
 
+#include <cmath>
+
 #include "baselines/pull_driver.h"
 #include "envs/registry.h"
 #include "envs/timed_env.h"
@@ -83,6 +85,11 @@ int main() {
     xt_deploy.broker.ipc_bandwidth_bytes_per_sec = kIpcBandwidth;
     xt_deploy.max_steps_consumed = test_case.steps;
     xt_deploy.max_seconds = 120.0;
+    // Continuous profiling on the XingTian run: the trace ring feeds the
+    // critical-path breakdown below, the sampler the per-thread profile.
+    xt_deploy.obs.tracing = true;
+    xt_deploy.obs.trace_capacity = 1 << 17;
+    xt_deploy.profile.enabled = true;
     XingTianRuntime runtime(setup, xt_deploy);
     const RunReport xt_report = runtime.run();
 
@@ -104,9 +111,49 @@ int main() {
     print_time_breakdown("XingTian:", xt_report);
     print_time_breakdown("Pull:", pull_report);
 
+    // Bottleneck attribution: the per-stage decomposition of every traced
+    // message lifecycle, computed from the trace ring (Fig. 7's bars).
+    const CriticalPathReport& cp = xt_report.critical_path;
+    std::printf("  critical path: %llu message(s), mean e2e %.2f ms, "
+                "dominant '%s' (%.0f%%)\n",
+                static_cast<unsigned long long>(cp.messages),
+                cp.mean_end_to_end_ms, cp.dominant_stage.c_str(),
+                cp.dominant_share * 100.0);
+    double stage_sum_ms = 0.0;
+    for (const StageBreakdown& stage : cp.stages) {
+      std::printf("    %-14s %10.1f ms total  %8.3f ms/msg  %5.1f%%\n",
+                  stage.stage.c_str(), stage.total_ms, stage.mean_ms,
+                  stage.share * 100.0);
+      stage_sum_ms += stage.total_ms;
+    }
+    if (!xt_report.thread_profiles.empty()) {
+      std::printf("  busiest threads:");
+      for (std::size_t i = 0; i < xt_report.thread_profiles.size() && i < 4; ++i) {
+        const ThreadProfile& thread = xt_report.thread_profiles[i];
+        std::printf(" %s:%.0f%%", thread.name.c_str(), thread.busy_pct);
+      }
+      std::printf("\n");
+    }
+
     shape_check(std::string(test_case.name) +
                     ": XingTian finishes the budget faster",
                 xt_report.wall_seconds < pull_report.wall_seconds);
+    shape_check(std::string(test_case.name) +
+                    ": critical path reconstructed traced lifecycles",
+                cp.messages > 0);
+    shape_check(std::string(test_case.name) + ": dominant stage identified",
+                !xt_report.dominant_stage.empty());
+    // The stage decomposition must account for the end-to-end latency it
+    // attributes: stage totals (incl. the explicit unattributed bucket) sum
+    // to the measured e2e within 5%.
+    const double sum_error =
+        cp.total_end_to_end_ms > 0.0
+            ? std::abs(stage_sum_ms - cp.total_end_to_end_ms) /
+                  cp.total_end_to_end_ms
+            : 1.0;
+    shape_check(std::string(test_case.name) +
+                    ": stage breakdown sums to e2e latency within 5%",
+                sum_error <= 0.05);
   }
 
   return finish("bench_fig7_time");

@@ -15,6 +15,8 @@
 
 #include "bench_util.h"
 
+#include <cstring>
+
 #include "algo/factory.h"
 #include "baselines/buffer_hub.h"
 #include "baselines/rpc.h"
@@ -78,7 +80,11 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_table1.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
   banner("Table 1: Time to Transmit Rollouts and to Train");
 
   std::vector<Row> rows;
@@ -181,6 +187,26 @@ int main() {
               rows[1].pull_ms > rows[1].train_ms);
   shape_check("IMPALA: pull transmission exceeds training time",
               rows[2].pull_ms > rows[2].train_ms);
+
+  // Machine-readable artifact for tools/perf_diff (the checked-in
+  // BENCH_table1.json baseline tracks these rows across PRs).
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::printf("cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_table1\",\n  \"entries\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"rollout_kb\": %.1f, "
+                 "\"pull_ms\": %.3f, \"buffer_ms\": %.3f, \"train_ms\": %.3f}%s\n",
+                 row.name, row.size_kb, row.pull_ms, row.buffer_ms, row.train_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", json_path);
 
   return finish("bench_table1");
 }

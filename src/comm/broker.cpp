@@ -6,6 +6,7 @@
 #include "common/crc32.h"
 #include "common/log.h"
 #include "common/thread_util.h"
+#include "obs/profiler.h"
 
 namespace xt {
 namespace {
@@ -177,6 +178,7 @@ void Broker::note_drop(DropReason reason) {
 
 void Broker::route(MessageHeader header) {
   const Stopwatch route_clock;
+  ProfScope prof("route");
   TraceScope route_span(trace_, "router.route", "comm", header.trace_id(),
                         machine_, header.body_size);
 
@@ -233,6 +235,7 @@ void Broker::route(MessageHeader header) {
 }
 
 bool Broker::deliver_remote(MessageHeader header, Payload body) {
+  ProfScope prof("rehost");
   TraceScope rehost_span(trace_, "broker.rehost", "comm", header.trace_id(),
                          machine_, body->size());
   // Integrity gate: a header that carries a CRC was stamped on the sending
@@ -290,6 +293,18 @@ std::uint64_t Broker::dropped_messages(DropReason reason) const {
 
 std::uint64_t Broker::corrupted_frames() const {
   return static_cast<std::uint64_t>(inst_.corrupted.value());
+}
+
+std::vector<std::pair<std::string, std::size_t>> Broker::queue_depths() const {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.emplace_back("router-m" + std::to_string(machine_),
+                   header_queue_.size());
+  std::scoped_lock lock(mu_);
+  out.reserve(1 + endpoints_.size());
+  for (const auto& [id, queue] : endpoints_) {
+    out.emplace_back("inbox-" + id.name(), queue->size());
+  }
+  return out;
 }
 
 }  // namespace xt

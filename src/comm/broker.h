@@ -5,8 +5,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/blocking_queue.h"
 #include "compress/codec.h"
@@ -144,6 +147,12 @@ class Broker {
   /// Cross-machine frames rejected by the CRC check (a subset of drops,
   /// also `xt_frames_corrupted_total{machine=...}`).
   [[nodiscard]] std::uint64_t corrupted_frames() const;
+
+  /// Depth snapshot for the saturation sampler: the router's header queue
+  /// ("router-mN") plus every registered endpoint's ID queue
+  /// ("inbox-<node>"). Thread-safe; a point-in-time read, not a fence.
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> queue_depths()
+      const;
 
  private:
   /// Telemetry handles resolved once at construction; hot-path updates are

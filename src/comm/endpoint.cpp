@@ -3,6 +3,7 @@
 #include "common/clock.h"
 #include "common/log.h"
 #include "common/thread_util.h"
+#include "obs/profiler.h"
 
 namespace xt {
 namespace {
@@ -79,6 +80,7 @@ void Endpoint::sender_loop() {
     // Deferred serialization runs here, off the workhorse's critical path.
     Payload body;
     if (outbound->producer) {
+      ProfScope prof("serialize");
       TraceScope span(trace, "msg.serialize", "comm", header.trace_id(),
                       id_.machine);
       const Stopwatch clock;
@@ -93,6 +95,7 @@ void Endpoint::sender_loop() {
 
     EncodedBody encoded;
     {
+      ProfScope prof("compress");
       TraceScope span(trace, "msg.compress", "comm", header.trace_id(),
                       id_.machine, body->size());
       encoded = maybe_compress(body, broker_.options().compression,
@@ -104,6 +107,7 @@ void Endpoint::sender_loop() {
     // pacing + insert: together they are the per-message serialize/copy cost
     // of paper Fig. 8(b).
     {
+      ProfScope prof("store.put");
       TraceScope span(trace, "store.put", "comm", header.trace_id(),
                       id_.machine, encoded.data->size());
       const Stopwatch clock;
@@ -156,6 +160,7 @@ void Endpoint::receiver_loop() {
       }
     }
 
+    ProfScope prof("recv");
     TraceScope recv_span(trace, "msg.recv", "comm", header.trace_id(),
                          id_.machine, header.body_size);
     const Stopwatch decode_clock;

@@ -69,6 +69,16 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t unclaimed = 0;
+  for (const std::shared_ptr<Job>& job : jobs_) {
+    const std::size_t claimed = job->next.load(std::memory_order_relaxed);
+    if (claimed < job->chunks) unclaimed += job->chunks - claimed;
+  }
+  return unclaimed;
+}
+
 void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
                               const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;

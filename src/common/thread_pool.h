@@ -34,6 +34,14 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+  /// Alias for workers(), for saturation-probe symmetry with pending().
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// Chunks submitted but not yet claimed by any participant, summed over
+  /// the queued jobs. A sustained non-zero value means callers are producing
+  /// parallel work faster than the pool drains it (the saturation signal
+  /// behind `xt_pool_pending_chunks`).
+  [[nodiscard]] std::size_t pending() const;
 
   /// Run body(begin, end) over contiguous subranges covering [0, n).
   /// Chunks hold at least `grain` indices (the last may be shorter only
@@ -45,7 +53,7 @@ class ThreadPool {
   struct Job;
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Job>> jobs_;
   bool stop_ = false;

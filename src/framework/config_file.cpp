@@ -369,6 +369,35 @@ bool apply_faults_key(LaunchConfig& config, const std::string& key,
   return fail(error, line, "unknown [faults] key '" + key + "'");
 }
 
+bool apply_profile_key(LaunchConfig& config, const std::string& key,
+                       const std::string& value, int line, std::string* error) {
+  ProfileConfig& profile = config.deployment.profile;
+  double d = 0.0;
+  bool b = false;
+  if (key == "enabled") {
+    if (!parse_bool(value, &b)) return fail(error, line, "bad enabled");
+    profile.enabled = b;
+    return true;
+  }
+  if (key == "hz") {
+    if (!parse_double(value, &d) || d <= 0.0) return fail(error, line, "bad hz");
+    profile.hz = d;
+    return true;
+  }
+  if (key == "saturation_hz") {
+    if (!parse_double(value, &d) || d <= 0.0) {
+      return fail(error, line, "bad saturation_hz");
+    }
+    profile.saturation_hz = d;
+    return true;
+  }
+  if (key == "profile_json") {
+    profile.profile_json_path = value;
+    return true;
+  }
+  return fail(error, line, "unknown [profile] key '" + key + "'");
+}
+
 bool apply_compute_key(LaunchConfig& config, const std::string& key,
                        const std::string& value, int line, std::string* error) {
   if (key == "threads") {
@@ -411,7 +440,8 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       }
       section = text.substr(1, text.size() - 2);
       if (section != "algorithm" && section != "deployment" &&
-          section != "faults" && section != "compute") {
+          section != "faults" && section != "compute" &&
+          section != "profile") {
         fail(error, line, "unknown section [" + section + "]");
         return std::nullopt;
       }
@@ -436,6 +466,8 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       ok = apply_deployment_key(config, key, value, line, error);
     } else if (section == "compute") {
       ok = apply_compute_key(config, key, value, line, error);
+    } else if (section == "profile") {
+      ok = apply_profile_key(config, key, value, line, error);
     } else {
       ok = apply_faults_key(config, key, value, line, error);
     }

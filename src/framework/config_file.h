@@ -40,6 +40,12 @@ namespace xt {
 /// threads = auto                  # auto | -1 (hardware), 0 (serial,
 ///                                 # bit-exact deterministic mode), or N
 ///
+/// [profile]                       # continuous profiling (see DESIGN.md)
+/// enabled = on                    # sampling profiler + saturation gauges
+/// hz = 97                         # scope-stack sampling frequency
+/// saturation_hz = 10              # queue/pool/link gauge refresh
+/// profile_json = profile.json     # bottleneck report, written at end of run
+///
 /// [faults]                        # chaos fabric + self-healing (all optional)
 /// seed = 11                       # deterministic fault schedule
 /// drop_prob = 0.01                # per-frame drop probability

@@ -9,6 +9,8 @@
 #include "framework/supervisor.h"
 #include "netsim/paced_pipe.h"
 #include "netsim/reliable_link.h"
+#include "obs/critical_path.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace xt {
@@ -30,6 +32,23 @@ struct ObservabilityConfig {
   double stats_line_every_s = 0.0;
 };
 
+/// Continuous-profiling knobs (`[profile]` in the config file). The sampler
+/// is cheap enough to leave on for whole runs: one background thread walks
+/// every registered thread's annotated-scope stack at `hz` and a second
+/// slower cadence reads queue/pool/link saturation into gauges.
+struct ProfileConfig {
+  bool enabled = false;
+  /// Scope-stack sampling frequency. An odd (prime-ish) default avoids
+  /// phase-locking with millisecond-periodic work.
+  double hz = 97.0;
+  /// Saturation-probe frequency (queue depths, pool backlog, link
+  /// utilization). Cheaper to read but noisier; keep well below `hz`.
+  double saturation_hz = 10.0;
+  /// If non-empty, run() writes the combined profile artifact here
+  /// (critical-path breakdown + per-thread profiles + final queue depths).
+  std::string profile_json_path;
+};
+
 /// The C++ analogue of XingTian's deployment configuration file (paper
 /// Section 3.2.2): which machines exist, how many explorers run on each,
 /// and where the learner lives. Machine 0 hosts the center controller.
@@ -42,6 +61,7 @@ struct DeploymentConfig {
                                    ///< (incl. the chaos FaultPlan, link.faults)
   Broker::Options broker;          ///< compression / object-store options
   ObservabilityConfig obs;         ///< metrics / tracing / exporters
+  ProfileConfig profile;           ///< sampling profiler + saturation gauges
   ReliabilityConfig reliability;   ///< ack/retransmit on cross-machine links
   SupervisionConfig supervision;   ///< heartbeats + worker respawn
 
@@ -131,6 +151,18 @@ struct RunReport {
   std::uint64_t explorer_restarts = 0;
   std::uint64_t learner_restarts = 0;   ///< each restored from checkpoint
   std::uint64_t degraded_workers = 0;   ///< abandoned after restart budget
+
+  // Bottleneck attribution (filled when tracing / profiling were enabled).
+  /// Per-stage latency breakdown over every traced message lifecycle
+  /// (paper Fig. 7's serialize/transmit/deserialize bars, generalized).
+  CriticalPathReport critical_path;
+  /// Stage with the largest share of end-to-end latency ("" if no traced
+  /// lifecycles completed). Duplicate of critical_path.dominant_stage for
+  /// one-line access.
+  std::string dominant_stage;
+  /// Per-thread busy% and self-time per annotated scope from the sampling
+  /// profiler (empty unless profile.enabled).
+  std::vector<ThreadProfile> thread_profiles;
 
   /// Full Prometheus text-format dump of the run's metrics registry.
   std::string prometheus;

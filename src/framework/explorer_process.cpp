@@ -4,6 +4,7 @@
 #include "common/log.h"
 #include "common/thread_util.h"
 #include "nn/matrix.h"
+#include "obs/profiler.h"
 #include "serial/record.h"
 
 namespace xt {
@@ -109,6 +110,7 @@ void ExplorerProcess::ship_batch() {
     // broadcast. Other explorers keep exploring; their transmissions
     // overlap with our waiting (Section 3.2.1).
     const Stopwatch wait_clock;
+    ProfScope prof("wait_weights", /*idle=*/true);
     TraceScope wait_span(trace_, "explorer.wait_weights", "app", 0,
                          node_.machine);
     while (!stop_.load() && !crashed_.load() &&
@@ -152,6 +154,7 @@ void ExplorerProcess::worker_loop() {
   std::uint64_t episode_steps = 0;
 
   while (!stop_.load()) {
+    ProfScope prof("explore");
     if (crashed_.load()) return;  // simulated kill: vanish mid-stride
     if (heartbeat_) heartbeat_->tick();
     drain_inbox();

@@ -4,6 +4,7 @@
 #include "common/log.h"
 #include "common/thread_util.h"
 #include "nn/matrix.h"
+#include "obs/profiler.h"
 #include "serial/record.h"
 
 namespace xt {
@@ -117,10 +118,14 @@ void LearnerProcess::trainer_loop() {
     // latency of any single message.
     Stopwatch wait_clock;
     TraceScope wait_span(trace_, "learner.wait", "app", 0, node_.machine);
-    while (!algorithm_->ready_to_train() && !stop_.load() && !crashed_.load()) {
-      if (heartbeat_) heartbeat_->tick();
-      auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
-      if (msg && !ingest(std::move(*msg))) break;
+    {
+      ProfScope prof("wait_data", /*idle=*/true);
+      while (!algorithm_->ready_to_train() && !stop_.load() &&
+             !crashed_.load()) {
+        if (heartbeat_) heartbeat_->tick();
+        auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
+        if (msg && !ingest(std::move(*msg))) break;
+      }
     }
     if (stop_.load() || crashed_.load()) break;
     wait_span.finish();
@@ -136,7 +141,11 @@ void LearnerProcess::trainer_loop() {
 
     Stopwatch train_clock;
     TraceScope train_span(trace_, "learner.train", "app", 0, node_.machine);
-    Algorithm::TrainResult result = algorithm_->train();
+    Algorithm::TrainResult result;
+    {
+      ProfScope prof("train");
+      result = algorithm_->train();
+    }
     train_span.finish();
     const double trained_ms = train_clock.elapsed_ms();
     train_ms_.add(trained_ms);

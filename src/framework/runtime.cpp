@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <fstream>
+#include <sstream>
 
 #include "common/clock.h"
 #include "common/log.h"
@@ -29,6 +30,32 @@ double family_mean(const MetricsRegistry& registry, const std::string& family) {
     count += hist->count();
   }
   return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+/// Compact top-like suffix for the periodic stats line: the three busiest
+/// threads and the three deepest queues from the latest saturation tick.
+std::string profile_stats_suffix(
+    const std::vector<ThreadProfile>& profiles,
+    std::vector<std::pair<std::string, double>> depths) {
+  std::ostringstream out;
+  out << " busy=[";
+  std::size_t shown = 0;
+  for (const ThreadProfile& thread : profiles) {  // already busiest-first
+    if (shown == 3) break;
+    if (thread.samples == 0) continue;
+    if (shown > 0) out << ' ';
+    out << thread.name << ':' << static_cast<int>(thread.busy_pct + 0.5) << '%';
+    ++shown;
+  }
+  out << "] deep=[";
+  std::sort(depths.begin(), depths.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (std::size_t i = 0; i < depths.size() && i < 3; ++i) {
+    if (i > 0) out << ' ';
+    out << depths[i].first << ':' << depths[i].second;
+  }
+  out << ']';
+  return out.str();
 }
 
 /// Sum across every counter of the family (e.g. all links' labeled
@@ -134,6 +161,10 @@ XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
     });
   }
 
+  // Everything the saturation probe reads (brokers, fabric, pool) now
+  // exists, so the sampler can start before the first worker iteration.
+  if (config_.profile.enabled) start_profiling();
+
   controller_thread_ = std::thread([this] {
     set_current_thread_name("controller");
     controller_loop();
@@ -141,6 +172,9 @@ XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
 }
 
 XingTianRuntime::~XingTianRuntime() {
+  // The probe walks brokers_ and fabric_; removing it here is the barrier
+  // that makes the teardown below safe (no-op when run() already did it).
+  stop_profiling();
   // Join the controller first: once it is gone no respawn can race the
   // worker teardown below.
   stop_.store(true);
@@ -154,6 +188,89 @@ XingTianRuntime::~XingTianRuntime() {
   if (controller_endpoint_) controller_endpoint_->stop();
   if (fabric_) fabric_->stop();
   for (auto& broker : brokers_) broker->stop();
+}
+
+void XingTianRuntime::start_profiling() {
+  Profiler& profiler = Profiler::global();
+  // The profiler is process-global (worker threads attach to it from inside
+  // library code); clear tallies left over from a previous runtime so this
+  // run's profile starts at zero.
+  profiler.reset();
+  profiler.start(config_.profile.hz);
+  profiler_started_ = true;
+
+  pipe_bytes_prev_.assign(fabric_->pipes().size(), 0);
+  saturation_prev_ns_ = now_ns();
+
+  // The saturation probe runs on the sampler thread at its own (slower)
+  // cadence: queue depths and pool backlog into `xt_queue_depth{queue=...}` /
+  // `xt_pool_pending_chunks`, link occupancy into
+  // `xt_link_utilization{link=...}` from byte-counter deltas.
+  Gauge& pool_pending = metrics_->gauge("xt_pool_pending_chunks");
+  saturation_probe_token_ = profiler.add_probe(
+      [this, &pool_pending] {
+        std::vector<std::pair<std::string, double>> depths;
+        for (const auto& broker : brokers_) {
+          for (const auto& [queue, depth] : broker->queue_depths()) {
+            const auto d = static_cast<double>(depth);
+            metrics_->gauge("xt_queue_depth{queue=\"" + queue + "\"}").set(d);
+            depths.emplace_back(queue, d);
+          }
+          metrics_
+              ->gauge("xt_store_live_objects{machine=\"" +
+                      std::to_string(broker->machine()) + "\"}")
+              .set(static_cast<double>(broker->store().live_objects()));
+        }
+        if (auto pool = compute_pool()) {
+          const auto backlog = static_cast<double>(pool->pending());
+          pool_pending.set(backlog);
+          depths.emplace_back("compute-pool", backlog);
+        }
+        const std::int64_t now = now_ns();
+        const double dt_s =
+            static_cast<double>(now - saturation_prev_ns_) / 1e9;
+        const auto pipes = fabric_->pipes();
+        for (std::size_t i = 0; i < pipes.size(); ++i) {
+          const PacedPipe* pipe = pipes[i];
+          const auto backlog = static_cast<double>(pipe->queued_frames());
+          metrics_
+              ->gauge("xt_queue_depth{queue=\"pipe-" + pipe->name() + "\"}")
+              .set(backlog);
+          depths.emplace_back("pipe-" + pipe->name(), backlog);
+          const std::uint64_t bytes = pipe->bytes_transferred();
+          if (i < pipe_bytes_prev_.size() && dt_s > 0.0) {
+            const double rate =
+                static_cast<double>(bytes - pipe_bytes_prev_[i]) / dt_s;
+            const double util = std::clamp(
+                rate / pipe->config().bandwidth_bytes_per_sec, 0.0, 1.0);
+            metrics_
+                ->gauge("xt_link_utilization{link=\"" + pipe->name() + "\"}")
+                .set(util);
+            pipe_bytes_prev_[i] = bytes;
+          }
+        }
+        saturation_prev_ns_ = now;
+        std::scoped_lock lock(saturation_mu_);
+        queue_depth_snapshot_ = std::move(depths);
+      },
+      config_.profile.saturation_hz);
+}
+
+void XingTianRuntime::stop_profiling() {
+  if (saturation_probe_token_ >= 0) {
+    Profiler::global().remove_probe(saturation_probe_token_);
+    saturation_probe_token_ = -1;
+  }
+  if (profiler_started_) {
+    Profiler::global().stop();
+    profiler_started_ = false;
+  }
+}
+
+std::vector<std::pair<std::string, double>>
+XingTianRuntime::queue_depth_snapshot() const {
+  std::scoped_lock lock(saturation_mu_);
+  return queue_depth_snapshot_;
 }
 
 void XingTianRuntime::controller_loop() {
@@ -304,12 +421,17 @@ RunReport XingTianRuntime::run() {
       next_stats_line_s += config_.obs.stats_line_every_s;
       const double elapsed = clock.elapsed_s();
       const auto steps = learner_steps();
+      std::string profile_suffix;
+      if (profiler_started_) {
+        profile_suffix = profile_stats_suffix(Profiler::global().profiles(),
+                                              queue_depth_snapshot());
+      }
       XT_LOG_INFO << "stats t=" << elapsed << "s steps=" << steps
                   << " throughput=" << (elapsed > 0 ? static_cast<double>(steps) / elapsed : 0.0)
                   << "/s episodes=" << episodes_reported()
                   << " wait_ms=" << family_mean(*metrics_, "xt_learner_wait_ms")
                   << " train_ms=" << family_mean(*metrics_, "xt_learner_train_ms")
-                  << " spans=" << trace_->total_recorded();
+                  << " spans=" << trace_->total_recorded() << profile_suffix;
     }
     if (config_.max_steps_consumed > 0 &&
         learner_steps() >= config_.max_steps_consumed) {
@@ -325,6 +447,16 @@ RunReport XingTianRuntime::run() {
     }
   }
   const double wall = clock.elapsed_s();
+
+  // Snapshot the profiler while the run's threads are still live, then stop
+  // it so shutdown idling does not dilute the tallies.
+  std::vector<ThreadProfile> thread_profiles;
+  std::vector<std::pair<std::string, double>> final_depths;
+  if (profiler_started_) {
+    thread_profiles = Profiler::global().profiles();
+    final_depths = queue_depth_snapshot();
+  }
+  stop_profiling();
 
   // Stop supervision before tearing workers down: once the controller
   // thread is joined, no respawn can resurrect a worker mid-shutdown.
@@ -378,6 +510,33 @@ RunReport XingTianRuntime::run() {
                   << " worker restart(s) (" << report.explorer_restarts
                   << " explorer, " << report.learner_restarts << " learner, "
                   << report.degraded_workers << " degraded)";
+    }
+  }
+
+  // Bottleneck attribution: reconstruct per-message lifecycles from the
+  // trace ring and attribute end-to-end latency to pipeline stages (the
+  // paper's Fig. 7 decomposition, computed instead of hand-measured).
+  if (config_.obs.tracing) {
+    report.critical_path = analyze_critical_path(trace_->snapshot());
+    report.dominant_stage = report.critical_path.dominant_stage;
+    if (report.critical_path.messages > 0) {
+      XT_LOG_INFO << "critical path: " << report.critical_path.messages
+                  << " message(s), mean e2e "
+                  << report.critical_path.mean_end_to_end_ms
+                  << " ms, dominant stage '" << report.dominant_stage << "' ("
+                  << static_cast<int>(report.critical_path.dominant_share * 100.0 + 0.5)
+                  << "%)";
+    }
+  }
+  report.thread_profiles = std::move(thread_profiles);
+  if (!config_.profile.profile_json_path.empty()) {
+    if (write_profile_json_file(config_.profile.profile_json_path,
+                                report.critical_path, report.thread_profiles,
+                                final_depths, wall, config_.profile.hz)) {
+      XT_LOG_INFO << "wrote profile to " << config_.profile.profile_json_path;
+    } else {
+      XT_LOG_WARN << "cannot write profile to "
+                  << config_.profile.profile_json_path;
     }
   }
 

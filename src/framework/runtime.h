@@ -16,6 +16,7 @@
 #include "framework/supervisor.h"
 #include "netsim/fabric.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace xt {
@@ -65,9 +66,21 @@ class XingTianRuntime {
   [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] TraceCollector& trace() { return *trace_; }
 
+  /// Latest saturation-probe reading: (queue name, depth) for every broker
+  /// inbox, router queue, pipe backlog and the compute pool. Empty unless
+  /// profiling is enabled. Any thread.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> queue_depth_snapshot() const;
+
  private:
   void controller_loop();
   void broadcast_shutdown();
+  /// Start the global sampling profiler and register this runtime's
+  /// saturation probe (ctor, when config_.profile.enabled).
+  void start_profiling();
+  /// Remove the probe and stop the sampler (idempotent; run() + dtor).
+  /// remove_probe() is the teardown barrier: after it returns the probe can
+  /// never run again, so brokers/fabric may be destroyed.
+  void stop_profiling();
   /// Rebuild a dead worker in place (controller thread, via the
   /// supervisor). Return false when shutdown already started.
   bool respawn_explorer(std::size_t global_index, std::uint32_t attempt);
@@ -97,6 +110,16 @@ class XingTianRuntime {
   /// the controller thread while run()'s goal loop and tests read progress).
   mutable std::mutex workers_mu_;
   std::unique_ptr<Supervisor> supervisor_;  ///< controller thread only
+
+  // Profiling (all empty/-1 unless config_.profile.enabled).
+  bool profiler_started_ = false;
+  int saturation_probe_token_ = -1;
+  /// Per-pipe byte counters + timestamp from the previous probe tick, for
+  /// link-utilization deltas. Sampler thread only (inside the probe).
+  std::vector<std::uint64_t> pipe_bytes_prev_;
+  std::int64_t saturation_prev_ns_ = 0;
+  mutable std::mutex saturation_mu_;
+  std::vector<std::pair<std::string, double>> queue_depth_snapshot_;
 
   std::atomic<bool> stop_{false};
   std::FILE* stats_csv_ = nullptr;  ///< owned; controller thread only

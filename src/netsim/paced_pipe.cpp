@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/thread_util.h"
+#include "obs/profiler.h"
 
 namespace xt {
 
@@ -44,6 +45,9 @@ bool PacedPipe::send_faultable(std::size_t wire_bytes, FaultableDeliver deliver,
 void PacedPipe::transmit_loop() {
   const Stopwatch link_clock;  // blackout windows key off link uptime
   while (auto frame = queue_.pop()) {
+    // The transmit scope covers pacing + far-end delivery, so this thread's
+    // busy% reads as link occupancy (the sampler's view of utilization).
+    ProfScope prof("transmit");
     TraceScope span(obs_.trace, "pipe.transmit", "comm", frame->trace_id,
                     obs_.pid, frame->wire_bytes);
     const Stopwatch clock;

@@ -9,6 +9,7 @@
 #include "common/crc32.h"
 #include "common/log.h"
 #include "common/thread_util.h"
+#include "obs/profiler.h"
 
 namespace xt {
 namespace {
@@ -171,9 +172,12 @@ void ReliableChannel::retransmit_loop() {
       XT_LOG_WARN << "link " << name_ << ": abandoned " << abandoned
                   << " frame(s) after " << config_.max_retries << " retries";
     }
-    for (auto& [header, body] : due) {
-      if (inst_.retransmits != nullptr) inst_.retransmits->inc();
-      transmit(header.link_seq, header, body);
+    if (!due.empty()) {
+      ProfScope prof("retransmit");
+      for (auto& [header, body] : due) {
+        if (inst_.retransmits != nullptr) inst_.retransmits->inc();
+        transmit(header.link_seq, header, body);
+      }
     }
     lock.lock();
   }

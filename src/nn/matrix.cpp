@@ -21,6 +21,7 @@
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace xt::nn {
 
@@ -130,7 +131,13 @@ void run_rows(std::size_t rows, double flops, const Body& body) {
   }
   const double flops_per_row = flops / static_cast<double>(rows);
   auto grain = static_cast<std::size_t>(kMinParallelFlops / 2 / flops_per_row);
-  pool->parallel_for(rows, std::max(grain, kMr), body);
+  // The scope also attaches the pool's "xt-compute" workers to the profiler
+  // the first time they execute a chunk.
+  pool->parallel_for(rows, std::max(grain, kMr),
+                     [&body](std::size_t b, std::size_t e) {
+                       ProfScope prof("gemm");
+                       body(b, e);
+                     });
 }
 
 /// Rows [r0, r1) of C = A * B (+ optional bias row broadcast).

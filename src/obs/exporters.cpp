@@ -38,12 +38,64 @@ std::string format_double(double v) {
   return buf;
 }
 
-/// Split `xt_name_total{a="b"}` into ("xt_name_total", "a=\"b\"").
+/// Escape a label value per the Prometheus exposition format: backslash,
+/// double quote and newline must be written as \\, \" and \n.
+void append_label_value_escaped(std::string& out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// Re-emit a raw `a="b",c="d"` label block with every value escaped. Metric
+/// names embed label values verbatim (see MetricsRegistry's naming
+/// convention), so a value holding a backslash, quote or newline would
+/// otherwise corrupt the exposition output. A quote is treated as closing
+/// its value when followed by `,` or the end of the block; anything else —
+/// including embedded quotes — is value content.
+std::string sanitize_labels(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size() + 8);
+  std::size_t i = 0;
+  while (i < labels.size()) {
+    const std::size_t eq = labels.find('=', i);
+    if (eq == std::string::npos) {
+      out.append(labels, i, labels.size() - i);  // malformed: pass through
+      break;
+    }
+    out.append(labels, i, eq - i + 1);
+    i = eq + 1;
+    if (i >= labels.size() || labels[i] != '"') continue;
+    out += '"';
+    ++i;
+    std::string value;
+    while (i < labels.size() &&
+           !(labels[i] == '"' &&
+             (i + 1 == labels.size() || labels[i + 1] == ','))) {
+      value += labels[i++];
+    }
+    append_label_value_escaped(out, value);
+    out += '"';
+    if (i < labels.size()) ++i;  // closing quote
+    if (i < labels.size() && labels[i] == ',') {
+      out += ',';
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Split `xt_name_total{a="b"}` into ("xt_name_total", "a=\"b\"") with the
+/// label values escaped for exposition output.
 std::pair<std::string, std::string> split_labels(const std::string& name) {
   const std::size_t brace = name.find('{');
   if (brace == std::string::npos || name.back() != '}') return {name, ""};
   return {name.substr(0, brace),
-          name.substr(brace + 1, name.size() - brace - 2)};
+          sanitize_labels(name.substr(brace + 1, name.size() - brace - 2))};
 }
 
 std::string with_label(const std::string& labels, const std::string& extra) {
@@ -179,6 +231,61 @@ std::string prometheus_text(const MetricsRegistry& registry) {
   std::ostringstream os;
   write_prometheus_text(registry, os);
   return os.str();
+}
+
+std::string profile_json(
+    const CriticalPathReport& critical_path,
+    const std::vector<ThreadProfile>& threads,
+    const std::vector<std::pair<std::string, double>>& queue_depths,
+    double wall_seconds, double sampling_hz) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"wall_seconds\":" + format_double(wall_seconds);
+  out += ",\"sampling_hz\":" + format_double(sampling_hz);
+  out += ",\"critical_path\":" + critical_path_json(critical_path);
+  out += ",\"threads\":[";
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const ThreadProfile& thread = threads[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"";
+    append_json_escaped(out, thread.name);
+    out += "\",\"samples\":" + std::to_string(thread.samples);
+    out += ",\"busy_pct\":" + format_double(thread.busy_pct);
+    out += ",\"scopes\":[";
+    for (std::size_t j = 0; j < thread.scopes.size(); ++j) {
+      const ScopeProfile& scope = thread.scopes[j];
+      if (j > 0) out += ",";
+      out += "{\"label\":\"";
+      append_json_escaped(out, scope.label);
+      out += "\",\"samples\":" + std::to_string(scope.samples);
+      out += ",\"self_ms\":" + format_double(scope.self_ms);
+      out += ",\"idle\":";
+      out += scope.idle ? "true" : "false";
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "],\"queues\":[";
+  for (std::size_t i = 0; i < queue_depths.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"queue\":\"";
+    append_json_escaped(out, queue_depths[i].first);
+    out += "\",\"depth\":" + format_double(queue_depths[i].second) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_profile_json_file(
+    const std::string& path, const CriticalPathReport& critical_path,
+    const std::vector<ThreadProfile>& threads,
+    const std::vector<std::pair<std::string, double>>& queue_depths,
+    double wall_seconds, double sampling_hz) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << profile_json(critical_path, threads, queue_depths, wall_seconds,
+                       sampling_hz);
+  return static_cast<bool>(file);
 }
 
 }  // namespace xt

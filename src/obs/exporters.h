@@ -2,8 +2,12 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace xt {
@@ -25,5 +29,21 @@ bool write_chrome_trace_file(const TraceCollector& collector,
 void write_prometheus_text(const MetricsRegistry& registry, std::ostream& os);
 
 [[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry);
+
+/// The run's `profile.json` artifact: the critical-path breakdown, the
+/// per-thread sampling profiles, and the final queue-depth snapshot, as one
+/// JSON object tools can diff across runs.
+[[nodiscard]] std::string profile_json(
+    const CriticalPathReport& critical_path,
+    const std::vector<ThreadProfile>& threads,
+    const std::vector<std::pair<std::string, double>>& queue_depths,
+    double wall_seconds, double sampling_hz);
+
+/// profile_json to a file; false if the file cannot be opened.
+bool write_profile_json_file(
+    const std::string& path, const CriticalPathReport& critical_path,
+    const std::vector<ThreadProfile>& threads,
+    const std::vector<std::pair<std::string, double>>& queue_depths,
+    double wall_seconds, double sampling_hz);
 
 }  // namespace xt

@@ -154,6 +154,44 @@ TEST(ConfigFile, FaultsSectionRejectsBadValues) {
   EXPECT_NE(error.find("unknown [faults] key"), std::string::npos);
 }
 
+TEST(ConfigFile, ProfileSection) {
+  const std::string text = R"(
+[profile]
+enabled = on
+hz = 250
+saturation_hz = 25
+profile_json = /tmp/run_profile.json
+)";
+  std::string error;
+  const auto config = parse_launch_config(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_TRUE(config->deployment.profile.enabled);
+  EXPECT_DOUBLE_EQ(config->deployment.profile.hz, 250.0);
+  EXPECT_DOUBLE_EQ(config->deployment.profile.saturation_hz, 25.0);
+  EXPECT_EQ(config->deployment.profile.profile_json_path,
+            "/tmp/run_profile.json");
+
+  // Defaults: off, ~100 Hz sampling, 10 Hz saturation probe, no JSON dump.
+  const auto defaults = parse_launch_config("");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_FALSE(defaults->deployment.profile.enabled);
+  EXPECT_GT(defaults->deployment.profile.hz, 0.0);
+  EXPECT_GT(defaults->deployment.profile.saturation_hz, 0.0);
+  EXPECT_TRUE(defaults->deployment.profile.profile_json_path.empty());
+}
+
+TEST(ConfigFile, ProfileSectionRejectsBadValues) {
+  std::string error;
+  EXPECT_FALSE(parse_launch_config("[profile]\nhz = fast\n", &error));
+  EXPECT_NE(error.find("bad hz"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[profile]\nhz = 0\n"));
+  EXPECT_FALSE(parse_launch_config("[profile]\nhz = -5\n"));
+  EXPECT_FALSE(parse_launch_config("[profile]\nsaturation_hz = 0\n"));
+  EXPECT_FALSE(parse_launch_config("[profile]\nenabled = maybe\n"));
+  EXPECT_FALSE(parse_launch_config("[profile]\nnonsense = 1\n", &error));
+  EXPECT_NE(error.find("unknown [profile] key"), std::string::npos);
+}
+
 TEST(ConfigFile, AllAlgorithmKinds) {
   for (const auto& [name, kind] :
        std::vector<std::pair<std::string, AlgoKind>>{{"dqn", AlgoKind::kDqn},

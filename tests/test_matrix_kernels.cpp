@@ -4,6 +4,7 @@
 // latter is in the TSan CI job's target list.
 
 #include <atomic>
+#include <chrono>
 #include <iterator>
 #include <limits>
 #include <thread>
@@ -222,6 +223,40 @@ TEST(ThreadPool, ConcurrentCallersHammer) {
   }
   for (auto& t : callers) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// pending() is the saturation probe's view of the pool: chunks submitted
+// but not yet claimed. A single parallel_for never shows any (chunks are
+// capped at one per participant), so saturate the pool with more concurrent
+// jobs than it can absorb: the overflow job's chunks must be visible as
+// unclaimed, and drain to zero once the gate opens.
+TEST(ThreadPool, PendingReportsUnclaimedChunks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  EXPECT_EQ(pool.pending(), 0u);
+
+  std::atomic<bool> release{false};
+  const auto blocked_body = [&release](std::size_t, std::size_t) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  // Two 2-chunk jobs, three participants (two callers + one worker), every
+  // body blocked: one chunk has nobody to claim it.
+  std::thread a([&] { pool.parallel_for(2, 1, blocked_body); });
+  std::thread b([&] { pool.parallel_for(2, 1, blocked_body); });
+
+  bool saw_pending = false;
+  for (int i = 0; i < 2'000 && !saw_pending; ++i) {
+    saw_pending = pool.pending() > 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(saw_pending);
+
+  release.store(true);
+  a.join();
+  b.join();
+  EXPECT_EQ(pool.pending(), 0u);
 }
 
 TEST(ThreadPool, ComputeParallelForHonoursSerialMode) {

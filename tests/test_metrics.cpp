@@ -139,6 +139,59 @@ TEST(PrometheusExporter, GoldenOutput) {
   EXPECT_EQ(prometheus_text(registry), expected);
 }
 
+TEST(PrometheusExporter, HostileLabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  // Metric names embed label values verbatim; the exporter must escape
+  // backslashes, quotes and newlines per the exposition format.
+  registry.counter("xt_path_total{path=\"C:\\tmp\"}").inc(1);
+  registry.counter("xt_quote_total{q=\"he said \"hi\"\"}").inc(2);
+  registry.gauge("xt_nl{queue=\"a\nb\"}").set(3.0);
+  registry.counter("xt_multi_total{a=\"x\\\",b=\"y\"}").inc(4);
+
+  const std::string text = prometheus_text(registry);
+  EXPECT_NE(text.find("xt_path_total{path=\"C:\\\\tmp\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xt_quote_total{q=\"he said \\\"hi\\\"\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xt_nl{queue=\"a\\nb\"} 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("xt_multi_total{a=\"x\\\\\",b=\"y\"} 4"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside a sample line: every line must look
+  // like `name{labels} value` or a comment.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << "dangling: " << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST(PrometheusExporter, HostileLabelsOnHistogramFamilies) {
+  MetricsRegistry registry;
+  Histogram::Options options;
+  options.first_bound = 1.0;
+  options.growth = 10.0;
+  options.buckets = 1;
+  registry.histogram("xt_h_ms{tag=\"a\\b\"}", options).observe(0.5);
+
+  const std::string text = prometheus_text(registry);
+  // The le label is appended after the (escaped) user labels.
+  EXPECT_NE(text.find("xt_h_ms_bucket{tag=\"a\\\\b\",le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xt_h_ms_sum{tag=\"a\\\\b\"} 0.5"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xt_h_ms_count{tag=\"a\\\\b\"} 1"), std::string::npos)
+      << text;
+}
+
 TEST(Log, WarningsAreCountedAndFilteredStatementsCostNothing) {
   const LogLevel saved = log_level();
   set_log_level(LogLevel::kError);

@@ -1,0 +1,142 @@
+#include "perf_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace xt::tools {
+namespace {
+
+JsonValue must_parse(const std::string& text) {
+  std::string error;
+  auto parsed = parse_json(text, &error);
+  EXPECT_TRUE(parsed.has_value()) << error << "\nin: " << text;
+  return parsed.value_or(JsonValue{});
+}
+
+TEST(PerfDiffJson, ParsesScalarsArraysAndObjects) {
+  const JsonValue doc = must_parse(
+      R"({"name": "bench", "ok": true, "none": null,
+          "vals": [1, -2.5, 3e2], "nested": {"k": 7}})");
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(doc.find("name")->string, "bench");
+  EXPECT_TRUE(doc.find("ok")->boolean);
+  EXPECT_EQ(doc.find("none")->kind, JsonValue::Kind::kNull);
+  const JsonValue* vals = doc.find("vals");
+  ASSERT_NE(vals, nullptr);
+  ASSERT_EQ(vals->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(vals->items[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(vals->items[1].number, -2.5);
+  EXPECT_DOUBLE_EQ(vals->items[2].number, 300.0);
+  EXPECT_DOUBLE_EQ(doc.find("nested")->find("k")->number, 7.0);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(PerfDiffJson, ParsesStringEscapes) {
+  const JsonValue doc =
+      must_parse(R"({"s": "a\"b\\c\nd\tuA"})");
+  EXPECT_EQ(doc.find("s")->string, "a\"b\\c\nd\tuA");
+}
+
+TEST(PerfDiffJson, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_json(R"({"a": 1,})", nullptr).has_value());
+  EXPECT_FALSE(parse_json(R"({"a" 1})", nullptr).has_value());
+  EXPECT_FALSE(parse_json("[1, 2] trailing", nullptr).has_value());
+  EXPECT_FALSE(parse_json("", nullptr).has_value());
+}
+
+TEST(PerfDiffDirection, InferredFromSuffix) {
+  EXPECT_EQ(direction_for("matmul[256x256x256].pooled_gflops"),
+            Direction::kHigherBetter);
+  EXPECT_EQ(direction_for("throughput"), Direction::kHigherBetter);
+  EXPECT_EQ(direction_for("entries.PPO.steps_per_second"),
+            Direction::kHigherBetter);
+  EXPECT_EQ(direction_for("entries.PPO.pull_ms"), Direction::kLowerBetter);
+  EXPECT_EQ(direction_for("scope_ns"), Direction::kLowerBetter);
+  EXPECT_EQ(direction_for("wall_seconds"), Direction::kLowerBetter);
+  EXPECT_EQ(direction_for("entries.PPO.rollout_kb"), Direction::kInfo);
+  EXPECT_EQ(direction_for("pooled_threads"), Direction::kInfo);
+}
+
+TEST(PerfDiffFlatten, LabelsArrayElementsByIdentity) {
+  const JsonValue doc = must_parse(R"({
+    "bench": "bench_kernels",
+    "pooled_threads": 4,
+    "kernels": [
+      {"kernel": "matmul", "m": 256, "k": 256, "n": 256,
+       "pooled_gflops": 12.5, "serial_gflops": 3.5},
+      {"name": "PPO", "pull_ms": 10.0},
+      {"plain_ms": 1.0}
+    ]})");
+  const auto metrics = flatten_metrics(doc);
+  ASSERT_EQ(metrics.count("kernels.matmul[256x256x256].pooled_gflops"), 1u);
+  EXPECT_DOUBLE_EQ(metrics.at("kernels.matmul[256x256x256].pooled_gflops"),
+                   12.5);
+  EXPECT_EQ(metrics.count("kernels.PPO.pull_ms"), 1u);
+  EXPECT_EQ(metrics.count("kernels.2.plain_ms"), 1u);
+  EXPECT_DOUBLE_EQ(metrics.at("pooled_threads"), 4.0);
+  // Identifying fields (kernel/m/k/n/name) and non-numbers are not metrics.
+  EXPECT_EQ(metrics.count("kernels.matmul[256x256x256].m"), 0u);
+  EXPECT_EQ(metrics.count("kernels.matmul[256x256x256].kernel"), 0u);
+  EXPECT_EQ(metrics.count("kernels.PPO.name"), 0u);
+  EXPECT_EQ(metrics.count("bench"), 0u);
+  EXPECT_EQ(metrics.size(), 5u);
+}
+
+TEST(PerfDiffCompare, FlagsCollapsesAndAcceptsNoise) {
+  const JsonValue baseline = must_parse(
+      R"({"a_gflops": 100.0, "b_ms": 10.0, "size_kb": 64})");
+  // a_gflops collapsed 4x (gated, higher-better), b_ms improved 2x,
+  // size_kb doubled but is informational.
+  const JsonValue current = must_parse(
+      R"({"a_gflops": 25.0, "b_ms": 5.0, "size_kb": 128})");
+  const DiffResult result = diff_metrics(baseline, current, 0.5);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions, 1);
+  for (const MetricComparison& row : result.rows) {
+    if (row.id == "a_gflops") {
+      EXPECT_TRUE(row.regression);
+      EXPECT_DOUBLE_EQ(row.ratio, 0.25);
+    } else if (row.id == "b_ms") {
+      EXPECT_FALSE(row.regression);
+      EXPECT_DOUBLE_EQ(row.ratio, 2.0);  // lower-better: baseline/current
+    } else if (row.id == "size_kb") {
+      EXPECT_FALSE(row.regression);
+      EXPECT_EQ(row.direction, Direction::kInfo);
+    }
+  }
+}
+
+TEST(PerfDiffCompare, WithinToleranceIsOk) {
+  const JsonValue baseline = must_parse(R"({"a_gflops": 100.0, "b_ms": 10.0})");
+  const JsonValue current = must_parse(R"({"a_gflops": 60.0, "b_ms": 16.0})");
+  const DiffResult result = diff_metrics(baseline, current, 0.5);
+  EXPECT_TRUE(result.ok()) << format_diff(result, 0.5);
+}
+
+TEST(PerfDiffCompare, MissingGatedMetricIsARegression) {
+  const JsonValue baseline = must_parse(
+      R"({"a_gflops": 100.0, "note_kb": 1.0})");
+  const JsonValue current = must_parse(R"({"new_ms": 3.0})");
+  const DiffResult result = diff_metrics(baseline, current, 0.5);
+  EXPECT_FALSE(result.ok());
+  // note_kb is informational: absent but not a regression and not listed.
+  ASSERT_EQ(result.missing.size(), 1u);
+  EXPECT_EQ(result.missing[0], "a_gflops");
+  EXPECT_EQ(result.regressions, 1);
+  ASSERT_EQ(result.added.size(), 1u);
+  EXPECT_EQ(result.added[0], "new_ms");
+}
+
+TEST(PerfDiffCompare, FormatMarksRegressions) {
+  const JsonValue baseline = must_parse(R"({"a_gflops": 100.0})");
+  const JsonValue current = must_parse(R"({"a_gflops": 10.0})");
+  const DiffResult result = diff_metrics(baseline, current, 0.5);
+  const std::string report = format_diff(result, 0.5);
+  EXPECT_NE(report.find("a_gflops"), std::string::npos);
+  EXPECT_NE(report.find("REGRESSION"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xt::tools

@@ -1,0 +1,229 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/thread_util.h"
+
+namespace xt {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// The profiler is process-global; serialize the tests that start/stop it.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::global().stop();
+    Profiler::global().reset();
+  }
+  void TearDown() override {
+    Profiler::global().stop();
+    Profiler::global().reset();
+  }
+};
+
+const ThreadProfile* find_thread(const std::vector<ThreadProfile>& profiles,
+                                 const std::string& name) {
+  for (const ThreadProfile& t : profiles) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const ScopeProfile* find_scope(const ThreadProfile& thread, const char* label) {
+  for (const ScopeProfile& s : thread.scopes) {
+    if (std::string(s.label) == label) return &s;
+  }
+  return nullptr;
+}
+
+TEST_F(ProfilerTest, ScopeStackPushesAndPops) {
+  prof::ThreadState& state = prof::current_state();
+  const std::uint32_t base = state.depth.load();
+  {
+    ProfScope outer("outer");
+    EXPECT_EQ(state.depth.load(), base + 1);
+    {
+      ProfScope inner("inner", /*idle=*/true);
+      EXPECT_EQ(state.depth.load(), base + 2);
+      EXPECT_STREQ(state.stack[base + 1].label.load(), "inner");
+      EXPECT_TRUE(state.stack[base + 1].idle.load());
+    }
+    EXPECT_EQ(state.depth.load(), base + 1);
+    EXPECT_STREQ(state.stack[base].label.load(), "outer");
+    EXPECT_FALSE(state.stack[base].idle.load());
+  }
+  EXPECT_EQ(state.depth.load(), base);
+}
+
+TEST_F(ProfilerTest, OverflowBeyondMaxDepthIsAttributedToEnclosingScope) {
+  prof::ThreadState& state = prof::current_state();
+  ASSERT_EQ(state.depth.load(), 0u);
+  {
+    // Recursively exceed kMaxDepth: the extra pushes become no-ops and their
+    // pops must not unbalance the stack.
+    std::vector<std::unique_ptr<ProfScope>> scopes;
+    for (std::size_t i = 0; i < prof::kMaxDepth + 8; ++i) {
+      scopes.push_back(std::make_unique<ProfScope>("deep"));
+    }
+    EXPECT_EQ(state.depth.load(), prof::kMaxDepth);
+    scopes.clear();
+  }
+  EXPECT_EQ(state.depth.load(), 0u);
+}
+
+TEST_F(ProfilerTest, BusyAndIdleScopesAreAttributed) {
+  Profiler& profiler = Profiler::global();
+  profiler.start(400.0);
+
+  std::atomic<bool> stop{false};
+  std::thread busy([&] {
+    set_current_thread_name("prof-busy");
+    ProfScope scope("spin");
+    while (!stop.load()) {
+    }
+  });
+  std::thread idle([&] {
+    set_current_thread_name("prof-idle");
+    ProfScope scope("block", /*idle=*/true);
+    while (!stop.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(300ms);
+  stop.store(true);
+  busy.join();
+  idle.join();
+  profiler.stop();
+
+  const auto profiles = profiler.profiles();
+  const ThreadProfile* busy_profile = find_thread(profiles, "prof-busy");
+  const ThreadProfile* idle_profile = find_thread(profiles, "prof-idle");
+  ASSERT_NE(busy_profile, nullptr);
+  ASSERT_NE(idle_profile, nullptr);
+
+  // ~120 samples over 300 ms at 400 Hz; demand only a generous floor.
+  EXPECT_GE(busy_profile->samples, 20u);
+  EXPECT_GE(busy_profile->busy_pct, 80.0);
+  EXPECT_LE(idle_profile->busy_pct, 20.0);
+
+  const ScopeProfile* spin = find_scope(*busy_profile, "spin");
+  ASSERT_NE(spin, nullptr);
+  EXPECT_FALSE(spin->idle);
+  EXPECT_GT(spin->samples, 0u);
+  EXPECT_GT(spin->self_ms, 0.0);
+
+  const ScopeProfile* block = find_scope(*idle_profile, "block");
+  ASSERT_NE(block, nullptr);
+  EXPECT_TRUE(block->idle);
+}
+
+TEST_F(ProfilerTest, InnermostScopeWinsAttribution) {
+  Profiler& profiler = Profiler::global();
+  profiler.start(400.0);
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    set_current_thread_name("prof-nested");
+    ProfScope outer("outer");
+    ProfScope inner("inner");
+    while (!stop.load()) {
+    }
+  });
+  std::this_thread::sleep_for(200ms);
+  stop.store(true);
+  worker.join();
+  profiler.stop();
+
+  const auto profiles = profiler.profiles();
+  const ThreadProfile* profile = find_thread(profiles, "prof-nested");
+  ASSERT_NE(profile, nullptr);
+  const ScopeProfile* inner = find_scope(*profile, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GT(inner->samples, 0u);
+  // Every sample lands in the innermost scope; "outer" gets none.
+  const ScopeProfile* outer = find_scope(*profile, "outer");
+  if (outer != nullptr) {
+    EXPECT_EQ(outer->samples, 0u);
+  }
+}
+
+TEST_F(ProfilerTest, ThreadsSharingANameAreMerged) {
+  Profiler& profiler = Profiler::global();
+  profiler.start(400.0);
+  // Two sequential generations of "the same" worker (a respawn).
+  for (int generation = 0; generation < 2; ++generation) {
+    std::thread worker([&] {
+      set_current_thread_name("prof-respawned");
+      ProfScope scope("work");
+      std::this_thread::sleep_for(150ms);
+    });
+    worker.join();
+  }
+  profiler.stop();
+
+  const auto profiles = profiler.profiles();
+  std::size_t matches = 0;
+  for (const ThreadProfile& t : profiles) {
+    if (t.name == "prof-respawned") ++matches;
+  }
+  EXPECT_EQ(matches, 1u) << "respawned threads must merge into one profile";
+}
+
+TEST_F(ProfilerTest, ProbesFireAtTheirOwnCadence) {
+  Profiler& profiler = Profiler::global();
+  std::atomic<int> fired{0};
+  profiler.start(200.0);
+  const int token = profiler.add_probe([&] { fired.fetch_add(1); }, 50.0);
+  std::this_thread::sleep_for(300ms);
+  profiler.remove_probe(token);
+  const int after_remove = fired.load();
+  std::this_thread::sleep_for(100ms);
+  profiler.stop();
+  EXPECT_GE(after_remove, 3);  // ~15 expected; generous floor
+  // remove_probe is a barrier: no firings after it returned.
+  EXPECT_EQ(fired.load(), after_remove);
+}
+
+TEST_F(ProfilerTest, ResetDropsTallies) {
+  Profiler& profiler = Profiler::global();
+  profiler.start(400.0);
+  {
+    ProfScope scope("reset-me");
+    std::this_thread::sleep_for(100ms);
+  }
+  profiler.stop();
+  profiler.reset();
+  for (const ThreadProfile& t : profiler.profiles()) {
+    EXPECT_EQ(t.samples, 0u) << t.name;
+  }
+}
+
+// TSan hammer: many threads churning scopes while the sampler reads their
+// stacks. The assertions are minimal — the point is the data-race check.
+TEST_F(ProfilerTest, ConcurrentScopeChurnWhileSampling) {
+  Profiler& profiler = Profiler::global();
+  profiler.start(2'000.0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&stop, t] {
+      set_current_thread_name("prof-churn-" + std::to_string(t));
+      while (!stop.load()) {
+        ProfScope a("alpha");
+        ProfScope b("beta", /*idle=*/true);
+        ProfScope c("gamma");
+      }
+    });
+  }
+  std::this_thread::sleep_for(300ms);
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  profiler.stop();
+  const auto profiles = profiler.profiles();
+  EXPECT_GE(profiles.size(), 4u);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,377 @@
+#include "perf_diff.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace xt::tools {
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string* error;
+
+  bool fail(const std::string& message) {
+    if (error != nullptr) {
+      *error = "offset " + std::to_string(pos) + ": " + message;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text.compare(pos, len, word) != 0) {
+      return fail(std::string("bad literal (want ") + word + ")");
+    }
+    pos += len;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return fail("truncated escape");
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            unsigned int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // UTF-8 encode the BMP codepoint (surrogate pairs unsupported —
+            // bench artifacts are ASCII; a lone surrogate encodes as-is).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue* out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out->kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        skip_ws();
+        if (!parse_string(&key)) return false;
+        if (!consume(':')) return false;
+        JsonValue value;
+        if (!parse_value(&value)) return false;
+        out->members.emplace_back(std::move(key), std::move(value));
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated object");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!parse_value(&value)) return false;
+        out->items.push_back(std::move(value));
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated array");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return parse_string(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return literal("true", 4);
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return literal("false", 5);
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return literal("null", 4);
+    }
+    char* end = nullptr;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text.c_str() + pos, &end);
+    if (end == text.c_str() + pos) return fail("bad value");
+    pos = static_cast<std::size_t>(end - text.c_str());
+    return true;
+  }
+};
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Last dot-separated segment of a metric id (the field name).
+std::string last_segment(const std::string& id) {
+  const auto dot = id.rfind('.');
+  return dot == std::string::npos ? id : id.substr(dot + 1);
+}
+
+/// Label for an array element, from its identifying fields. Fills
+/// `consumed` with the keys used so the caller can skip them as metrics.
+std::string element_label(const JsonValue& element, std::size_t index,
+                          std::vector<std::string>* consumed) {
+  const JsonValue* kernel = element.find("kernel");
+  if (kernel != nullptr && kernel->kind == JsonValue::Kind::kString) {
+    std::string label = kernel->string;
+    const JsonValue* m = element.find("m");
+    const JsonValue* k = element.find("k");
+    const JsonValue* n = element.find("n");
+    if (m != nullptr && k != nullptr && n != nullptr) {
+      std::ostringstream shape;
+      shape << '[' << m->number << 'x' << k->number << 'x' << n->number << ']';
+      label += shape.str();
+      *consumed = {"kernel", "m", "k", "n"};
+    } else {
+      *consumed = {"kernel"};
+    }
+    return label;
+  }
+  const JsonValue* name = element.find("name");
+  if (name != nullptr && name->kind == JsonValue::Kind::kString) {
+    *consumed = {"name"};
+    return name->string;
+  }
+  return std::to_string(index);
+}
+
+void flatten_into(const JsonValue& value, const std::string& prefix,
+                  const std::vector<std::string>& skip,
+                  std::map<std::string, double>* out) {
+  auto skipped = [&skip](const std::string& key) {
+    for (const std::string& s : skip) {
+      if (s == key) return true;
+    }
+    return false;
+  };
+  if (value.kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, member] : value.members) {
+      if (skipped(key)) continue;
+      const std::string id = prefix.empty() ? key : prefix + "." + key;
+      if (member.kind == JsonValue::Kind::kNumber) {
+        (*out)[id] = member.number;
+      } else if (member.kind == JsonValue::Kind::kObject ||
+                 member.kind == JsonValue::Kind::kArray) {
+        flatten_into(member, id, {}, out);
+      }
+      // Strings/bools/nulls are labels or flags, not metrics.
+    }
+    return;
+  }
+  if (value.kind == JsonValue::Kind::kArray) {
+    for (std::size_t i = 0; i < value.items.size(); ++i) {
+      const JsonValue& element = value.items[i];
+      std::vector<std::string> consumed;
+      const std::string label = element_label(element, i, &consumed);
+      const std::string id = prefix.empty() ? label : prefix + "." + label;
+      if (element.kind == JsonValue::Kind::kNumber) {
+        (*out)[id] = element.number;
+      } else {
+        flatten_into(element, id, consumed, out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> parse_json(const std::string& text, std::string* error) {
+  Parser parser{text, 0, error};
+  JsonValue root;
+  if (!parser.parse_value(&root)) return std::nullopt;
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    parser.fail("trailing characters after document");
+    return std::nullopt;
+  }
+  return root;
+}
+
+Direction direction_for(const std::string& metric_id) {
+  const std::string key = last_segment(metric_id);
+  if (ends_with(key, "gflops") || ends_with(key, "throughput") ||
+      ends_with(key, "_per_s") || ends_with(key, "steps_per_second")) {
+    return Direction::kHigherBetter;
+  }
+  if (ends_with(key, "_ms") || ends_with(key, "_ns") ||
+      ends_with(key, "_seconds") || ends_with(key, "latency")) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kInfo;
+}
+
+std::map<std::string, double> flatten_metrics(const JsonValue& root) {
+  std::map<std::string, double> out;
+  flatten_into(root, "", {}, &out);
+  return out;
+}
+
+DiffResult diff_metrics(const JsonValue& baseline, const JsonValue& current,
+                        double min_ratio) {
+  const auto base = flatten_metrics(baseline);
+  const auto cur = flatten_metrics(current);
+  DiffResult result;
+  for (const auto& [id, base_value] : base) {
+    const Direction direction = direction_for(id);
+    const auto it = cur.find(id);
+    if (it == cur.end()) {
+      if (direction != Direction::kInfo) {
+        result.missing.push_back(id);
+        ++result.regressions;
+      }
+      continue;
+    }
+    MetricComparison row;
+    row.id = id;
+    row.direction = direction;
+    row.baseline = base_value;
+    row.current = it->second;
+    if (direction == Direction::kHigherBetter) {
+      row.ratio = base_value > 0.0 ? row.current / base_value : 1.0;
+    } else if (direction == Direction::kLowerBetter) {
+      row.ratio = row.current > 0.0 ? base_value / row.current : 1.0;
+    }
+    if (direction != Direction::kInfo && row.ratio < min_ratio) {
+      row.regression = true;
+      ++result.regressions;
+    }
+    result.rows.push_back(std::move(row));
+  }
+  for (const auto& [id, value] : cur) {
+    (void)value;
+    if (base.find(id) == base.end()) result.added.push_back(id);
+  }
+  return result;
+}
+
+std::string format_diff(const DiffResult& result, double min_ratio) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-52s %12s %12s %8s  %s\n", "metric",
+                "baseline", "current", "ratio", "verdict");
+  out << line;
+  for (const MetricComparison& row : result.rows) {
+    const char* verdict = "info";
+    if (row.direction != Direction::kInfo) {
+      verdict = row.regression ? "REGRESSION" : "ok";
+    }
+    std::snprintf(line, sizeof(line), "%-52s %12.3f %12.3f %8.3f  %s\n",
+                  row.id.c_str(), row.baseline, row.current, row.ratio, verdict);
+    out << line;
+  }
+  for (const std::string& id : result.missing) {
+    std::snprintf(line, sizeof(line), "%-52s %12s %12s %8s  MISSING\n",
+                  id.c_str(), "-", "-", "-");
+    out << line;
+  }
+  for (const std::string& id : result.added) {
+    std::snprintf(line, sizeof(line), "%-52s %12s %12s %8s  new\n", id.c_str(),
+                  "-", "-", "-");
+    out << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%d regression(s) at min-ratio %.2f over %zu compared metric(s)\n",
+                result.regressions, min_ratio, result.rows.size());
+  out << line;
+  return out.str();
+}
+
+}  // namespace xt::tools

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// Library behind the `perf_diff` tool: compare two bench JSON artifacts
+/// (e.g. a checked-in BENCH_kernels.json baseline against a fresh run) and
+/// flag regressions. Kept as a library so the comparator logic is unit
+/// tested; the CLI in perf_diff_main.cpp is a thin wrapper.
+namespace xt::tools {
+
+/// Minimal JSON document model — just enough for the bench artifacts this
+/// repo emits (objects, arrays, strings, numbers, bools, null).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject (ordered)
+
+  /// Object member lookup (nullptr when absent or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+/// Parse a JSON document. On failure returns nullopt and (if non-null)
+/// fills `error` with an offset-tagged message.
+[[nodiscard]] std::optional<JsonValue> parse_json(const std::string& text,
+                                                  std::string* error = nullptr);
+
+/// Whether a larger value of this metric is better, worse, or neither.
+/// Inferred from the key's suffix: rates (gflops, throughput, *_per_s) are
+/// higher-better, durations (*_ms, *_ns, *_s) are lower-better, everything
+/// else (sizes, counts, shape fields) is informational and never gates.
+enum class Direction { kHigherBetter, kLowerBetter, kInfo };
+
+[[nodiscard]] Direction direction_for(const std::string& metric_id);
+
+/// Flatten a bench artifact into metric-id -> value. Array elements are
+/// labeled by their identifying fields — `kernel` + `m`/`k`/`n` becomes
+/// `matmul[256x256x256]`, a `name` field is used verbatim, otherwise the
+/// element index — and the identifying fields themselves are not emitted
+/// as metrics. Example ids: `matmul[500x64x64].pooled_gflops`,
+/// `entries.PPO.pull_ms`, `pooled_threads`.
+[[nodiscard]] std::map<std::string, double> flatten_metrics(const JsonValue& root);
+
+struct MetricComparison {
+  std::string id;
+  Direction direction = Direction::kInfo;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Normalized so > 1 is an improvement regardless of direction
+  /// (current/baseline for rates, baseline/current for durations; 1 for
+  /// informational metrics).
+  double ratio = 1.0;
+  bool regression = false;  ///< ratio < min_ratio on a gated direction
+};
+
+struct DiffResult {
+  std::vector<MetricComparison> rows;      ///< baseline order (map-sorted)
+  std::vector<std::string> missing;        ///< gated in baseline, absent now
+  std::vector<std::string> added;          ///< present now, not in baseline
+  int regressions = 0;                     ///< rows flagged + missing gated
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// Compare a current artifact against a baseline. `min_ratio` is the gate:
+/// a gated metric whose normalized ratio drops below it is a regression
+/// (e.g. 0.5 allows the current run to be up to 2x worse — bench hosts are
+/// noisy, the gate catches collapses, the checked-in trajectory catches
+/// drift). A gated baseline metric missing from the current artifact also
+/// counts as a regression.
+[[nodiscard]] DiffResult diff_metrics(const JsonValue& baseline,
+                                      const JsonValue& current,
+                                      double min_ratio);
+
+/// Human-readable report (one line per metric, regressions marked).
+[[nodiscard]] std::string format_diff(const DiffResult& result,
+                                      double min_ratio);
+
+}  // namespace xt::tools

@@ -1,0 +1,90 @@
+// perf_diff: gate a fresh bench JSON artifact against a checked-in baseline.
+//
+//   perf_diff <baseline.json> <current.json> [--min-ratio R]
+//
+// Every numeric metric the two artifacts share is compared with a direction
+// inferred from its name (rates higher-better, durations lower-better,
+// anything else informational). The normalized ratio (>1 = better) must stay
+// at or above R (default 0.5 — bench hosts are noisy; the gate catches
+// collapses, the checked-in trajectory catches drift).
+//
+// Exit codes: 0 = no regression, 1 = regression or gated metric missing,
+// 2 = file/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "perf_diff.h"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) return false;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, n);
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double min_ratio = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-ratio") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      min_ratio = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || min_ratio <= 0.0) {
+        std::fprintf(stderr, "bad --min-ratio '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: perf_diff <baseline.json> <current.json> "
+                 "[--min-ratio R]\n");
+    return 2;
+  }
+
+  std::string baseline_text;
+  std::string current_text;
+  if (!read_file(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "cannot read %s\n", baseline_path);
+    return 2;
+  }
+  if (!read_file(current_path, &current_text)) {
+    std::fprintf(stderr, "cannot read %s\n", current_path);
+    return 2;
+  }
+  std::string error;
+  const auto baseline = xt::tools::parse_json(baseline_text, &error);
+  if (!baseline) {
+    std::fprintf(stderr, "%s: %s\n", baseline_path, error.c_str());
+    return 2;
+  }
+  const auto current = xt::tools::parse_json(current_text, &error);
+  if (!current) {
+    std::fprintf(stderr, "%s: %s\n", current_path, error.c_str());
+    return 2;
+  }
+
+  const auto result = xt::tools::diff_metrics(*baseline, *current, min_ratio);
+  std::printf("%s", xt::tools::format_diff(result, min_ratio).c_str());
+  return result.ok() ? 0 : 1;
+}
