@@ -1,5 +1,6 @@
 #include "comm/broker.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/clock.h"
@@ -23,6 +24,25 @@ std::string drop_label(std::uint16_t machine, DropReason reason) {
          std::to_string(machine) + "\",reason=\"" +
          drop_reason_name(reason) + "\"}";
 }
+
+std::string shard_label(const char* base, std::uint16_t machine,
+                        std::uint32_t shard) {
+  return std::string(base) + "{machine=\"" + std::to_string(machine) +
+         "\",shard=\"" + std::to_string(shard) + "\"}";
+}
+
+/// 64-bit finalizer (murmur3) spreading packed NodeIds — whose entropy sits
+/// in a few low bit groups — uniformly over the shard space.
+std::uint64_t mix64(std::uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  key *= 0xc4ceb9fe1a85ec53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+constexpr std::uint32_t kMaxRouterShards = 64;
 
 }  // namespace
 
@@ -83,17 +103,40 @@ Broker::Broker(std::uint16_t machine, Options options)
       &metrics_.gauge(machine_label("xt_store_live_bytes", machine));
   store_.bind_instruments(store_instruments);
 
-  router_ = std::thread([this] {
-    set_current_thread_name("router-m" + std::to_string(machine_));
-    router_loop();
-  });
+  const std::uint32_t n_shards = std::clamp<std::uint32_t>(
+      options_.router_shards == 0 ? 1 : options_.router_shards, 1,
+      kMaxRouterShards);
+  shards_.reserve(n_shards);
+  for (std::uint32_t s = 0; s < n_shards; ++s) {
+    auto shard = std::make_unique<RouterShard>();
+    shard->depth =
+        &metrics_.gauge(shard_label("xt_router_shard_depth", machine, s));
+    shard->drops = &metrics_.counter(
+        shard_label("xt_router_shard_drops_total", machine, s));
+    shards_.push_back(std::move(shard));
+  }
+  for (std::uint32_t s = 0; s < n_shards; ++s) {
+    RouterShard* shard = shards_[s].get();
+    // Single-shard brokers keep the classic "router-mN" thread name so
+    // profiles and saturation dumps from pre-sharding runs stay comparable.
+    const std::string thread_name =
+        n_shards == 1 ? "router-m" + std::to_string(machine_)
+                      : "router-m" + std::to_string(machine_) + "/s" +
+                            std::to_string(s);
+    shard->thread = std::thread([this, shard, s, thread_name] {
+      set_current_thread_name(thread_name);
+      router_loop(*shard, s);
+    });
+  }
 }
 
 Broker::~Broker() { stop(); }
 
 void Broker::stop() {
-  header_queue_.close();
-  if (router_.joinable()) router_.join();
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
 }
 
 std::shared_ptr<IdQueue> Broker::register_endpoint(const NodeId& id) {
@@ -115,12 +158,67 @@ void Broker::unregister_endpoint(const NodeId& id) {
   queue->close();
 }
 
+std::uint32_t Broker::shard_of(std::uint64_t key) const {
+  return static_cast<std::uint32_t>(mix64(key) % shards_.size());
+}
+
+std::uint64_t Broker::machine_shard_key(std::uint16_t machine) {
+  // Remote forwards hash by destination machine, in the same key space as
+  // local destinations: the machine's broker is the logical destination.
+  return NodeId{machine, NodeKind::kBroker, 0}.packed();
+}
+
 bool Broker::submit(MessageHeader header) {
-  const bool accepted = header_queue_.push(std::move(header));
-  if (accepted) {
-    inst_.queue_depth.set(static_cast<double>(header_queue_.size()));
+  if (shards_.size() == 1) {
+    const bool accepted = shards_[0]->queue.push(std::move(header));
+    if (accepted) publish_total_depth();
+    return accepted;
   }
-  return accepted;
+  // Fan the header to every shard that owns at least one of its local
+  // destinations or remote target machines. Each shard routes only its own
+  // subset, so across shards every destination is handled exactly once and
+  // the store refcount from expected_fetches() still balances. `share[s]`
+  // counts the store references shard s will consume: if its queue is
+  // already closed (shutdown race) those references are released here so
+  // shards that did accept keep a balanced count.
+  std::array<std::uint32_t, kMaxRouterShards> share{};
+  std::set<std::uint16_t> remote_machines;
+  for (const NodeId& dst : header.dsts) {
+    if (dst.machine == machine_) {
+      ++share[shard_of(dst.packed())];
+    } else if (remote_machines.insert(dst.machine).second) {
+      ++share[shard_of(machine_shard_key(dst.machine))];
+    }
+  }
+  bool any_consumer = false;
+  bool any_accepted = false;
+  std::uint32_t rejected_refs = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (share[s] == 0) continue;
+    any_consumer = true;
+    if (shards_[s]->queue.push(header)) {
+      any_accepted = true;
+    } else {
+      rejected_refs += share[s];
+    }
+  }
+  if (any_accepted) {
+    // Balance the store references of closed shards; with false the caller
+    // releases every reference itself, so nothing is released here.
+    for (std::uint32_t i = 0; i < rejected_refs; ++i) {
+      store_.release(header.object_id);
+    }
+  }
+  // Destination-less headers still drain through shard 0 (legacy behavior).
+  if (!any_consumer) any_accepted = shards_[0]->queue.push(header);
+  if (any_accepted) publish_total_depth();
+  return any_accepted;
+}
+
+void Broker::publish_total_depth() {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue.size();
+  inst_.queue_depth.set(static_cast<double>(total));
 }
 
 std::uint32_t Broker::expected_fetches(const MessageHeader& header) const {
@@ -142,17 +240,20 @@ void Broker::set_remote_sink(std::uint16_t machine, RemoteSink sink) {
   remote_sinks_[machine] = std::move(sink);
 }
 
-void Broker::router_loop() {
-  while (auto header = header_queue_.pop()) {
-    inst_.queue_depth.set(static_cast<double>(header_queue_.size()));
-    route(std::move(*header));
+void Broker::router_loop(RouterShard& shard, std::uint32_t shard_index) {
+  while (auto header = shard.queue.pop()) {
+    shard.depth->set(static_cast<double>(shard.queue.size()));
+    publish_total_depth();
+    route(std::move(*header), shard_index, shard);
   }
-  inst_.queue_depth.set(0.0);
+  shard.depth->set(0.0);
+  publish_total_depth();
 }
 
-void Broker::note_drop(DropReason reason) {
+void Broker::note_drop(DropReason reason, RouterShard* shard) {
   inst_.dropped.inc();
   drop_by_reason_[static_cast<std::size_t>(reason)]->inc();
+  if (shard != nullptr) shard->drops->inc();
   bool warn = false;
   std::uint64_t total = 0;
   std::uint64_t since = 0;
@@ -176,7 +277,8 @@ void Broker::note_drop(DropReason reason) {
   }
 }
 
-void Broker::route(MessageHeader header) {
+void Broker::route(MessageHeader header, std::uint32_t shard_index,
+                   RouterShard& shard) {
   const Stopwatch route_clock;
   ProfScope prof("route");
   TraceScope route_span(trace_, "router.route", "comm", header.trace_id(),
@@ -184,15 +286,23 @@ void Broker::route(MessageHeader header) {
 
   // Partition destinations: local endpoints get the header directly through
   // their ID queue; every distinct remote machine gets one forwarded copy of
-  // (header, body) through its sink.
+  // (header, body) through its sink. With several shards this shard only
+  // handles the destinations/machines that hash onto it — the other shards
+  // received their own copy of the header from submit().
+  const bool sharded = shards_.size() > 1;
   std::set<std::uint16_t> remote_machines;
   for (const NodeId& dst : header.dsts) {
-    if (dst.machine != machine_) remote_machines.insert(dst.machine);
+    if (dst.machine == machine_) continue;
+    if (sharded && shard_of(machine_shard_key(dst.machine)) != shard_index) {
+      continue;
+    }
+    remote_machines.insert(dst.machine);
   }
 
   const std::int64_t routed_ns = now_ns();
   for (const NodeId& dst : header.dsts) {
     if (dst.machine != machine_) continue;
+    if (sharded && shard_of(dst.packed()) != shard_index) continue;
     std::shared_ptr<IdQueue> queue;
     {
       std::scoped_lock lock(mu_);
@@ -201,10 +311,10 @@ void Broker::route(MessageHeader header) {
     }
     if (!queue) {
       store_.release(header.object_id);
-      note_drop(DropReason::kUnknownDest);
+      note_drop(DropReason::kUnknownDest, &shard);
     } else if (!queue->push(RoutedHeader{header, routed_ns})) {
       store_.release(header.object_id);
-      note_drop(DropReason::kClosedDest);
+      note_drop(DropReason::kClosedDest, &shard);
     } else {
       inst_.routed.inc();
     }
@@ -220,10 +330,10 @@ void Broker::route(MessageHeader header) {
     Payload body = store_.fetch(header.object_id);
     if (!sink || !body) {
       if (body == nullptr) {
-        note_drop(DropReason::kMissingBody);
+        note_drop(DropReason::kMissingBody, &shard);
       } else {
         store_.release(header.object_id);
-        note_drop(DropReason::kNoSink);
+        note_drop(DropReason::kNoSink, &shard);
       }
       continue;
     }
@@ -281,6 +391,18 @@ bool Broker::deliver_remote(MessageHeader header, Payload body) {
   return true;
 }
 
+void Broker::reject_corrupt_frame(std::size_t subframes) {
+  inst_.corrupted.inc();
+  for (std::size_t i = 0; i < subframes; ++i) {
+    note_drop(DropReason::kCrcFail);
+  }
+}
+
+std::uint64_t Broker::shard_drops(std::uint32_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  return static_cast<std::uint64_t>(shards_[shard]->drops->value());
+}
+
 std::uint64_t Broker::dropped_messages() const {
   std::scoped_lock lock(mu_);
   return dropped_;
@@ -297,10 +419,18 @@ std::uint64_t Broker::corrupted_frames() const {
 
 std::vector<std::pair<std::string, std::size_t>> Broker::queue_depths() const {
   std::vector<std::pair<std::string, std::size_t>> out;
-  out.emplace_back("router-m" + std::to_string(machine_),
-                   header_queue_.size());
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue.size();
+  out.emplace_back("router-m" + std::to_string(machine_), total);
+  if (shards_.size() > 1) {
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      out.emplace_back("router-m" + std::to_string(machine_) + "/s" +
+                           std::to_string(s),
+                       shards_[s]->queue.size());
+    }
+  }
   std::scoped_lock lock(mu_);
-  out.reserve(1 + endpoints_.size());
+  out.reserve(out.size() + endpoints_.size());
   for (const auto& [id, queue] : endpoints_) {
     out.emplace_back("inbox-" + id.name(), queue->size());
   }

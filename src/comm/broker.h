@@ -54,8 +54,9 @@ enum class DropReason : std::uint8_t {
 [[nodiscard]] const char* drop_reason_name(DropReason reason);
 
 /// The broker process (paper Section 3.2.1): owns the shared-memory
-/// communicator (header queue + object store) and runs the
-/// algorithm-agnostic router thread.
+/// communicator (header queues + object store) and runs the
+/// algorithm-agnostic router — one thread per shard (Options::router_shards,
+/// default one, the paper's layout).
 ///
 /// The router only parses headers — source, destinations, object id — and
 /// never inspects message bodies, so the same broker serves every DRL
@@ -65,6 +66,13 @@ class Broker {
   struct Options {
     CompressionConfig compression;
     bool deep_copy_store = false;  ///< ablation: copy bodies instead of sharing
+    /// Router shard count (`[comm] router_shards`). 1 = the classic single
+    /// router thread, bit-identical to the pre-sharding broker. With N > 1
+    /// the router is split into N threads, each owning the destinations (and
+    /// remote machines) whose id hashes onto it — so per-destination FIFO
+    /// order is preserved while unrelated destinations route in parallel.
+    /// Clamped to [1, 64].
+    std::uint32_t router_shards = 1;
     /// Modeled serialize+copy bandwidth into the shared-memory object store
     /// (0 = unpaced). The sender thread sleeps body_size / bandwidth per
     /// message, reproducing the per-byte cost the Python system pays when
@@ -133,7 +141,13 @@ class Broker {
   /// the frame arrived intact, retransmitting it cannot help.
   bool deliver_remote(MessageHeader header, Payload body);
 
-  /// Stop the router thread (idempotent). In-flight headers are drained.
+  /// Ingress accounting for a corrupted *wire frame*: the whole frame failed
+  /// its chained CRC, so every sub-frame it carried is rejected exactly once
+  /// — one corrupted-frame tick, one CRC-fail drop per sub-frame. The caller
+  /// (fabric or reliable channel) never delivers any of its messages.
+  void reject_corrupt_frame(std::size_t subframes);
+
+  /// Stop the router threads (idempotent). In-flight headers are drained.
   void stop();
 
   /// Messages that could not be delivered (any reason). Also surfaced as
@@ -149,10 +163,28 @@ class Broker {
   [[nodiscard]] std::uint64_t corrupted_frames() const;
 
   /// Depth snapshot for the saturation sampler: the router's header queue
-  /// ("router-mN") plus every registered endpoint's ID queue
-  /// ("inbox-<node>"). Thread-safe; a point-in-time read, not a fence.
+  /// ("router-mN", total across shards, plus "router-mN/sK" per shard when
+  /// sharded) and every registered endpoint's ID queue ("inbox-<node>").
+  /// Thread-safe; a point-in-time read, not a fence.
   [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> queue_depths()
       const;
+
+  /// Resolved shard count (>= 1).
+  [[nodiscard]] std::uint32_t router_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Which router shard owns a destination (or, via machine_shard_key, a
+  /// remote machine). Deterministic for a given shard count, so the same
+  /// destination always routes through the same shard.
+  [[nodiscard]] std::uint32_t shard_of(std::uint64_t key) const;
+
+  /// Shard-hash key for forwarding to a remote machine.
+  [[nodiscard]] static std::uint64_t machine_shard_key(std::uint16_t machine);
+
+  /// Drops attributed to one router shard (local routing + forwarding only;
+  /// ingress drops from deliver_remote happen on pipe threads, not shards).
+  [[nodiscard]] std::uint64_t shard_drops(std::uint32_t shard) const;
 
  private:
   /// Telemetry handles resolved once at construction; hot-path updates are
@@ -168,11 +200,22 @@ class Broker {
     Counter& corrupted;         ///< CRC-failed cross-machine frames
   };
 
-  void router_loop();
-  void route(MessageHeader header);
-  /// Count a drop (total + per-reason) and emit a rate-limited warning (one
-  /// line per warning interval, not one per dropped message).
-  void note_drop(DropReason reason);
+  /// One router shard: its own header queue, thread, and telemetry handles.
+  struct RouterShard {
+    BlockingQueue<MessageHeader> queue;
+    Gauge* depth = nullptr;    ///< xt_router_shard_depth{machine,shard}
+    Counter* drops = nullptr;  ///< xt_router_shard_drops_total{machine,shard}
+    std::thread thread;
+  };
+
+  void router_loop(RouterShard& shard, std::uint32_t shard_index);
+  void route(MessageHeader header, std::uint32_t shard_index,
+             RouterShard& shard);
+  void publish_total_depth();
+  /// Count a drop (total + per-reason, plus per-shard when attributable) and
+  /// emit a rate-limited warning (one line per warning interval, not one per
+  /// dropped message).
+  void note_drop(DropReason reason, RouterShard* shard = nullptr);
 
   const std::uint16_t machine_;
   const Options options_;
@@ -183,7 +226,7 @@ class Broker {
       drop_by_reason_{};
   CodecInstruments codec_instruments_;
   ObjectStore store_;
-  BlockingQueue<MessageHeader> header_queue_;
+  std::vector<std::unique_ptr<RouterShard>> shards_;
 
   mutable std::mutex mu_;
   std::unordered_map<NodeId, std::shared_ptr<IdQueue>> endpoints_;
@@ -192,8 +235,6 @@ class Broker {
   std::int64_t last_drop_warn_ns_ = 0;
   std::uint64_t dropped_at_last_warn_ = 0;
   bool warned_once_ = false;
-
-  std::thread router_;
 };
 
 }  // namespace xt

@@ -369,6 +369,55 @@ bool apply_faults_key(LaunchConfig& config, const std::string& key,
   return fail(error, line, "unknown [faults] key '" + key + "'");
 }
 
+bool apply_comm_key(LaunchConfig& config, const std::string& key,
+                    const std::string& value, int line, std::string* error) {
+  DeploymentConfig& deployment = config.deployment;
+  CoalesceConfig& coalesce = deployment.coalesce;
+  std::uint64_t u = 0;
+  bool b = false;
+  if (key == "router_shards") {
+    if (!parse_u64(value, &u) || u == 0 || u > 64) {
+      return fail(error, line, "bad router_shards (want 1..64)");
+    }
+    deployment.broker.router_shards = static_cast<std::uint32_t>(u);
+    return true;
+  }
+  if (key == "coalescing") {
+    if (!parse_bool(value, &b)) return fail(error, line, "bad coalescing");
+    coalesce.enabled = b;
+    return true;
+  }
+  if (key == "coalesce_max_bytes") {
+    if (!parse_u64(value, &u) || u == 0) {
+      return fail(error, line, "bad coalesce_max_bytes");
+    }
+    coalesce.max_subframe_bytes = u;
+    return true;
+  }
+  if (key == "coalesce_flush_bytes") {
+    if (!parse_u64(value, &u) || u == 0) {
+      return fail(error, line, "bad coalesce_flush_bytes");
+    }
+    coalesce.flush_bytes = u;
+    return true;
+  }
+  if (key == "coalesce_max_subframes") {
+    if (!parse_u64(value, &u) || u == 0) {
+      return fail(error, line, "bad coalesce_max_subframes");
+    }
+    coalesce.max_subframes = u;
+    return true;
+  }
+  if (key == "coalesce_flush_us") {
+    if (!parse_u64(value, &u) || u == 0) {
+      return fail(error, line, "bad coalesce_flush_us");
+    }
+    coalesce.flush_us = static_cast<std::int64_t>(u);
+    return true;
+  }
+  return fail(error, line, "unknown [comm] key '" + key + "'");
+}
+
 bool apply_profile_key(LaunchConfig& config, const std::string& key,
                        const std::string& value, int line, std::string* error) {
   ProfileConfig& profile = config.deployment.profile;
@@ -441,7 +490,7 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       section = text.substr(1, text.size() - 2);
       if (section != "algorithm" && section != "deployment" &&
           section != "faults" && section != "compute" &&
-          section != "profile") {
+          section != "profile" && section != "comm") {
         fail(error, line, "unknown section [" + section + "]");
         return std::nullopt;
       }
@@ -468,6 +517,8 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       ok = apply_compute_key(config, key, value, line, error);
     } else if (section == "profile") {
       ok = apply_profile_key(config, key, value, line, error);
+    } else if (section == "comm") {
+      ok = apply_comm_key(config, key, value, line, error);
     } else {
       ok = apply_faults_key(config, key, value, line, error);
     }

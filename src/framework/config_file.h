@@ -46,6 +46,14 @@ namespace xt {
 /// saturation_hz = 10              # queue/pool/link gauge refresh
 /// profile_json = profile.json     # bottleneck report, written at end of run
 ///
+/// [comm]                          # comm-core scaling (see DESIGN.md S9)
+/// router_shards = 4               # destination-hashed router threads (1..64)
+/// coalescing = on                 # batch small control frames per link
+/// coalesce_max_bytes = 512        # eligibility cap on control bodies
+/// coalesce_max_subframes = 32     # flush at this many sub-frames ...
+/// coalesce_flush_bytes = 4096     # ... or this many estimated wire bytes
+/// coalesce_flush_us = 1000        # ... or this much sub-frame age
+///
 /// [faults]                        # chaos fabric + self-healing (all optional)
 /// seed = 11                       # deterministic fault schedule
 /// drop_prob = 0.01                # per-frame drop probability

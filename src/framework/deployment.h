@@ -7,6 +7,7 @@
 #include "comm/broker.h"
 #include "common/stats.h"
 #include "framework/supervisor.h"
+#include "netsim/frame_coalescer.h"
 #include "netsim/paced_pipe.h"
 #include "netsim/reliable_link.h"
 #include "obs/critical_path.h"
@@ -63,6 +64,7 @@ struct DeploymentConfig {
   ObservabilityConfig obs;         ///< metrics / tracing / exporters
   ProfileConfig profile;           ///< sampling profiler + saturation gauges
   ReliabilityConfig reliability;   ///< ack/retransmit on cross-machine links
+  CoalesceConfig coalesce;         ///< control-frame batching on those links
   SupervisionConfig supervision;   ///< heartbeats + worker respawn
 
   /// If non-empty, the learner checkpoints its weights here (atomic write)

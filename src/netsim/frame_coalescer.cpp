@@ -1,0 +1,107 @@
+#include "netsim/frame_coalescer.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/thread_util.h"
+#include "obs/profiler.h"
+
+namespace xt {
+namespace {
+
+/// Rough per-sub-frame control cost (header fields + one destination) used
+/// for the flush_bytes accounting; the exact size is known only at encode
+/// time and a byte-accurate bound is not worth a speculative encode.
+constexpr std::size_t kControlBytesEstimate = 64;
+
+}  // namespace
+
+FrameCoalescer::FrameCoalescer(std::string name, CoalesceConfig config,
+                               FrameSink sink, Counter* coalesced_total)
+    : name_(std::move(name)),
+      config_(config),
+      sink_(std::move(sink)),
+      coalesced_total_(coalesced_total) {
+  flusher_ = std::thread([this] {
+    set_current_thread_name("coalesce-" + name_);
+    flusher_loop();
+  });
+}
+
+FrameCoalescer::~FrameCoalescer() { stop(); }
+
+void FrameCoalescer::stop() {
+  std::unique_lock lock(mu_);
+  if (stopping_) return;
+  flush_batch(lock);  // don't strand buffered control messages
+  stopping_ = true;
+  lock.unlock();
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+bool FrameCoalescer::offer(const MessageHeader& header, const Payload& body) {
+  if (!config_.eligible(header, body)) return false;
+  std::unique_lock lock(mu_);
+  if (stopping_) return false;
+  const bool was_empty = batch_.empty();
+  batch_.push_back(WireSubFrame{header, body});
+  batch_bytes_ += (body ? body->size() : 0) + kControlBytesEstimate;
+  if (was_empty) oldest_ns_ = now_ns();
+  if (batch_.size() >= config_.max_subframes ||
+      batch_bytes_ >= config_.flush_bytes) {
+    flush_batch(lock);
+  } else if (was_empty) {
+    cv_.notify_one();  // arm the deadline for this batch
+  }
+  return true;
+}
+
+void FrameCoalescer::flush() {
+  std::unique_lock lock(mu_);
+  flush_batch(lock);
+}
+
+void FrameCoalescer::flush_batch(std::unique_lock<std::mutex>& lock) {
+  if (batch_.empty()) return;
+  std::vector<WireSubFrame> batch = std::move(batch_);
+  batch_.clear();
+  batch_bytes_ = 0;
+  oldest_ns_ = 0;
+  // The emit lock is acquired while mu_ is still held, then mu_ released:
+  // concurrent flushes (deadline thread vs. a size-triggered offer) hand
+  // their batches to the sink in the order they were cut, so coalesced-class
+  // messages never reorder among themselves. emit_mu_ is released before mu_
+  // is re-acquired, so the two locks never interleave in opposite orders.
+  std::unique_lock emit(emit_mu_);
+  lock.unlock();
+  if (batch.size() >= 2) {
+    coalesced_subframes_.fetch_add(batch.size(), std::memory_order_relaxed);
+    if (coalesced_total_ != nullptr) coalesced_total_->inc(batch.size());
+  }
+  // CRC stamping is the sender path's decision (reliable channels always
+  // stamp, raw links only on faulty wires), so encode without one here.
+  sink_(encode_wire_frame(std::move(batch), /*with_crc=*/false));
+  emit.unlock();
+  lock.lock();
+}
+
+void FrameCoalescer::flusher_loop() {
+  const std::int64_t deadline_ns = config_.flush_us * 1'000;
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    if (batch_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !batch_.empty(); });
+      continue;
+    }
+    const std::int64_t age = now_ns() - oldest_ns_;
+    if (age < deadline_ns) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(deadline_ns - age));
+      continue;
+    }
+    ProfScope prof("coalesce.flush");
+    flush_batch(lock);
+  }
+}
+
+}  // namespace xt

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/message.h"
+#include "obs/metrics.h"
+#include "serial/wire_format.h"
+
+namespace xt {
+
+/// Knobs for per-link control-frame coalescing (`[comm]` in the config
+/// file). Small control-plane messages — heartbeats, stats, commands — pay
+/// the full per-frame cost (framing overhead + propagation latency) on a
+/// paced link; past a few hundred explorers those frames, not bytes, are
+/// what saturates the simulated NIC. The coalescer batches them into one
+/// wire frame with a sub-frame control segment and a flush deadline.
+/// Bulk traffic (rollouts, weights) is never held back.
+struct CoalesceConfig {
+  bool enabled = false;
+  /// A message only coalesces when its body is at or under this size.
+  std::size_t max_subframe_bytes = 1024;
+  /// Flush when the batched frame (control + bodies) would exceed this.
+  std::size_t flush_bytes = 8192;
+  /// Flush when this many sub-frames are batched.
+  std::size_t max_subframes = 32;
+  /// Flush deadline: a batched message waits at most this long (µs).
+  std::int64_t flush_us = 1000;
+
+  /// Control-plane types under the size threshold ride coalesced frames;
+  /// everything else is sent as its own frame immediately.
+  [[nodiscard]] bool eligible(const MessageHeader& header,
+                              const Payload& body) const {
+    if (!enabled) return false;
+    if (header.type != MsgType::kHeartbeat && header.type != MsgType::kStats &&
+        header.type != MsgType::kCommand) {
+      return false;
+    }
+    return (body ? body->size() : 0) <= max_subframe_bytes;
+  }
+};
+
+/// One link direction's control-frame batcher. offer() buffers eligible
+/// messages; a frame is flushed to the sink when it reaches max_subframes /
+/// flush_bytes, when the oldest buffered message hits the flush deadline
+/// (dedicated flusher thread), or at stop(). Buffered order is preserved,
+/// so messages of the coalesced class never reorder among themselves —
+/// only relative to bulk frames that bypass the batch, exactly like
+/// separate QoS queues on a real NIC.
+class FrameCoalescer {
+ public:
+  /// Emits one wire frame toward the link (reliable channel or raw pipe).
+  using FrameSink = std::function<void(WireFrame)>;
+
+  FrameCoalescer(std::string name, CoalesceConfig config, FrameSink sink,
+                 Counter* coalesced_total = nullptr);
+  ~FrameCoalescer();
+
+  FrameCoalescer(const FrameCoalescer&) = delete;
+  FrameCoalescer& operator=(const FrameCoalescer&) = delete;
+
+  /// Batch the message if it is eligible; returns false when the caller
+  /// must send it directly (bulk type or oversized body).
+  bool offer(const MessageHeader& header, const Payload& body);
+
+  /// Flush whatever is buffered right now (idempotent, thread-safe).
+  void flush();
+
+  /// Flush and join the deadline thread (idempotent).
+  void stop();
+
+  /// Sub-frames that actually shared a wire frame with at least one other
+  /// (also surfaced as xt_frames_coalesced_total{link=...}).
+  [[nodiscard]] std::uint64_t coalesced_subframes() const {
+    return coalesced_subframes_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void flusher_loop();
+  /// Builds the frame under the lock, emits it outside (the sink may block
+  /// on a channel mutex; never while holding ours).
+  void flush_batch(std::unique_lock<std::mutex>& lock);
+
+  const std::string name_;
+  const CoalesceConfig config_;
+  const FrameSink sink_;
+  Counter* const coalesced_total_;
+
+  std::mutex mu_;
+  std::mutex emit_mu_;  ///< serializes sink emission (frame order guarantee)
+  std::condition_variable cv_;
+  std::vector<WireSubFrame> batch_;
+  std::size_t batch_bytes_ = 0;      ///< bodies + estimated control bytes
+  std::int64_t oldest_ns_ = 0;       ///< when the first buffered message landed
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> coalesced_subframes_{0};
+  std::thread flusher_;
+};
+
+}  // namespace xt

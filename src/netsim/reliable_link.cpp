@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <utility>
-#include <vector>
 
 #include "common/clock.h"
-#include "common/crc32.h"
 #include "common/log.h"
 #include "common/thread_util.h"
+#include "netsim/fault_plan.h"
 #include "obs/profiler.h"
 
 namespace xt {
@@ -44,6 +43,14 @@ void ReliableChannel::stop() {
   }
   cv_.notify_all();
   if (retransmitter_.joinable()) retransmitter_.join();
+  // Flush batched acks so the peer's pending map doesn't keep frames the
+  // receiving side already delivered.
+  std::vector<std::uint64_t> flush;
+  {
+    std::scoped_lock lock(recv_mu_);
+    flush.swap(ack_pending_);
+  }
+  send_acks(flush);
 }
 
 void ReliableChannel::set_ack_sender(AckSender sender) {
@@ -56,72 +63,110 @@ std::size_t ReliableChannel::pending() const {
 }
 
 void ReliableChannel::send(MessageHeader header, Payload body) {
-  header.crc_present = true;
-  header.body_crc = body ? crc32(*body) : 0;
+  send_frame(encode_wire_frame({WireSubFrame{header, std::move(body)}},
+                               /*with_crc=*/false));
+}
+
+void ReliableChannel::send_frame(WireFrame frame) {
+  if (!frame.crc_present) {
+    frame.crc = wire_frame_crc(frame);
+    frame.crc_present = true;
+  }
   std::uint64_t seq = 0;
   {
     std::scoped_lock lock(mu_);
     if (stopping_) return;
     seq = next_seq_++;
-    header.link_seq = seq;
+    frame.link_seq = seq;
     Pending entry;
-    entry.header = header;
-    entry.body = body;
+    entry.frame = frame;
     entry.rto_ns = ms_to_ns(config_.rto_ms);
     entry.deadline_ns = now_ns() + entry.rto_ns;
     pending_.emplace(seq, std::move(entry));
   }
   cv_.notify_one();  // the retransmitter may need an earlier deadline
-  transmit(seq, header, body);
+  transmit(seq, frame);
 }
 
-void ReliableChannel::transmit(std::uint64_t seq, const MessageHeader& header,
-                               const Payload& body) {
-  const std::size_t wire = body ? body->size() : 0;
+void ReliableChannel::transmit(std::uint64_t seq, const WireFrame& frame) {
   pipe_.send_faultable(
-      wire,
-      [this, seq, header, body](const FaultOutcome& outcome) {
-        deliver(seq, header, body, outcome);
+      frame.wire_size(),
+      [this, seq, frame](const FaultOutcome& outcome) {
+        deliver(seq, frame, outcome);
       },
-      header.trace_id());
+      frame.trace_id);
 }
 
-void ReliableChannel::deliver(std::uint64_t seq, MessageHeader header,
-                              Payload body, const FaultOutcome& outcome) {
+void ReliableChannel::deliver(std::uint64_t seq, const WireFrame& frame,
+                              const FaultOutcome& outcome) {
   // Dedup first: a retransmit racing its own late ack must not reach the
-  // broker twice. Re-ack duplicates — the original ack may have been lost.
+  // broker twice. Re-ack duplicates immediately (flushing anything batched
+  // with them) — a duplicate means the sender never saw the original ack and
+  // is burning retransmit slots until it does.
   {
-    std::scoped_lock lock(recv_mu_);
-    if (seq <= recv_floor_ || recv_seen_.count(seq) != 0) {
-      if (inst_.duplicates != nullptr) inst_.duplicates->inc();
-      send_ack(seq);
+    std::vector<std::uint64_t> flush;
+    {
+      std::scoped_lock lock(recv_mu_);
+      if (seq <= recv_floor_ || recv_seen_.count(seq) != 0) {
+        if (inst_.duplicates != nullptr) inst_.duplicates->inc();
+        flush.swap(ack_pending_);
+        flush.push_back(seq);
+      }
+    }
+    if (!flush.empty()) {
+      send_acks(flush);
       return;
     }
   }
-  body = apply_corruption(std::move(body), outcome);
-  if (!receiver_.deliver_remote(header, std::move(body))) {
-    // Integrity reject: withhold the ack so the retransmitter repairs it.
+  const std::optional<std::vector<WireSubFrame>> subframes =
+      decode_wire_frame(apply_corruption(frame, outcome));
+  if (!subframes.has_value()) {
+    // The whole frame failed its chained CRC: every sub-frame is rejected
+    // together, and the withheld ack makes one retransmit repair them all.
+    receiver_.reject_corrupt_frame(frame.subframes());
     return;
   }
+  for (const WireSubFrame& sub : *subframes) {
+    // Integrity was already enforced frame-wide; routing drops inside
+    // deliver_remote (no local dest, closed queue) are not repairable by a
+    // retransmit, so they never withhold the frame's ack.
+    receiver_.deliver_remote(sub.header, sub.body);
+  }
+  std::vector<std::uint64_t> flush;
   {
     std::scoped_lock lock(recv_mu_);
     recv_seen_.insert(seq);
     while (recv_seen_.erase(recv_floor_ + 1) != 0) ++recv_floor_;
+    queue_ack_locked(seq, &flush);
   }
-  send_ack(seq);
+  send_acks(flush);
 }
 
-void ReliableChannel::send_ack(std::uint64_t seq) {
-  if (!ack_sender_) return;
-  if (inst_.acks != nullptr) inst_.acks->inc();
-  ack_sender_(seq);
+void ReliableChannel::queue_ack_locked(std::uint64_t seq,
+                                       std::vector<std::uint64_t>* flush) {
+  if (ack_pending_.empty()) ack_oldest_ns_ = now_ns();
+  ack_pending_.push_back(seq);
+  const std::uint32_t batch_max =
+      std::max<std::uint32_t>(config_.ack_coalesce_max, 1);
+  if (ack_pending_.size() >= batch_max ||
+      now_ns() - ack_oldest_ns_ >= config_.ack_flush_us * 1'000) {
+    flush->swap(ack_pending_);
+  }
 }
 
-void ReliableChannel::on_ack(std::uint64_t seq) {
+void ReliableChannel::send_acks(const std::vector<std::uint64_t>& seqs) {
+  if (!ack_sender_ || seqs.empty()) return;
+  if (inst_.acks != nullptr) inst_.acks->inc(seqs.size());
+  ack_sender_(seqs);
+}
+
+void ReliableChannel::on_acks(const std::vector<std::uint64_t>& seqs) {
   bool erased = false;
   {
     std::scoped_lock lock(mu_);
-    erased = pending_.erase(seq) != 0;
+    for (const std::uint64_t seq : seqs) {
+      erased = (pending_.erase(seq) != 0) || erased;
+    }
   }
   if (erased) cv_.notify_one();
 }
@@ -143,8 +188,8 @@ void ReliableChannel::retransmit_loop() {
       continue;
     }
     // Collect everything past deadline, then retransmit outside the lock so
-    // on_ack / send never contend with the (paced, potentially slow) pipe.
-    std::vector<std::pair<MessageHeader, Payload>> due;
+    // on_acks / send never contend with the (paced, potentially slow) pipe.
+    std::vector<WireFrame> due;
     std::uint64_t abandoned = 0;
     for (auto it = pending_.begin(); it != pending_.end();) {
       Pending& entry = it->second;
@@ -164,7 +209,7 @@ void ReliableChannel::retransmit_loop() {
               static_cast<double>(entry.rto_ns) * config_.backoff),
           ms_to_ns(config_.max_rto_ms));
       entry.deadline_ns = now + entry.rto_ns;
-      due.emplace_back(entry.header, entry.body);
+      due.push_back(entry.frame);
       ++it;
     }
     lock.unlock();
@@ -174,9 +219,9 @@ void ReliableChannel::retransmit_loop() {
     }
     if (!due.empty()) {
       ProfScope prof("retransmit");
-      for (auto& [header, body] : due) {
+      for (WireFrame& frame : due) {
         if (inst_.retransmits != nullptr) inst_.retransmits->inc();
-        transmit(header.link_seq, header, body);
+        transmit(frame.link_seq, frame);
       }
     }
     lock.lock();

@@ -8,11 +8,13 @@
 #include <string>
 #include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "comm/broker.h"
 #include "comm/message.h"
 #include "netsim/paced_pipe.h"
 #include "obs/metrics.h"
+#include "serial/wire_format.h"
 
 namespace xt {
 
@@ -24,15 +26,30 @@ struct ReliabilityConfig {
   double max_rto_ms = 2000.0;  ///< RTO cap
   std::uint32_t max_retries = 12;  ///< then the frame is abandoned
   std::size_t ack_wire_bytes = 16; ///< modeled size of an ack frame
+  /// Receiver-side ack batching: up to this many acks ride one reverse-pipe
+  /// frame (1 = ack every frame immediately, the classic behavior). The
+  /// fabric raises it alongside data-frame coalescing so ack framing stops
+  /// competing with data for reverse-link frame slots.
+  std::uint32_t ack_coalesce_max = 1;
+  /// Batched acks are flushed at the latest this long (µs) after the first
+  /// pending ack, piggybacked on the next delivery — kept well under rto_ms
+  /// so batching never looks like loss to the sender.
+  std::int64_t ack_flush_us = 5'000;
+  /// Modeled wire cost of each additional ack in a batched ack frame.
+  std::size_t ack_extra_seq_bytes = 8;
 };
 
 /// One direction of a reliable cross-machine link, layered on a lossy
-/// PacedPipe: every data frame carries a sequence number and a body CRC;
-/// the receiving side acks intact frames over the reverse pipe (so acks
-/// themselves can be lost or corrupted), dedups retransmitted ones, and a
-/// dedicated retransmitter thread re-sends anything unacked past its
-/// deadline with capped exponential backoff. The router thread only ever
-/// enqueues onto the pipe — it never blocks on the protocol.
+/// PacedPipe. The unit of the protocol is the *wire frame* (possibly many
+/// coalesced sub-frames): every frame carries a sequence number and a
+/// chained CRC over its control + body segments; the receiving side acks
+/// intact frames over the reverse pipe (so acks themselves can be lost or
+/// corrupted), dedups retransmitted ones, and a dedicated retransmitter
+/// thread re-sends anything unacked past its deadline with capped
+/// exponential backoff. A corrupted frame fails decode as a whole, so all
+/// of its sub-frames are rejected together and repaired by one retransmit.
+/// The router thread only ever enqueues onto the pipe — it never blocks on
+/// the protocol.
 ///
 /// Frames that exhaust max_retries are abandoned (counted as give-ups):
 /// in a DRL workload every stream is either redundant (rollouts — the
@@ -41,9 +58,9 @@ struct ReliabilityConfig {
 /// ever-growing retransmit queue.
 class ReliableChannel {
  public:
-  /// Sends an ack for `seq` back to the transmitting side (over the reverse
-  /// pipe, so it shares that direction's fault plan).
-  using AckSender = std::function<void(std::uint64_t seq)>;
+  /// Sends one ack frame carrying `seqs` back to the transmitting side
+  /// (over the reverse pipe, so it shares that direction's fault plan).
+  using AckSender = std::function<void(const std::vector<std::uint64_t>& seqs)>;
 
   struct Instruments {
     Counter* retransmits = nullptr;  ///< xt_retransmits_total{link=...}
@@ -62,16 +79,22 @@ class ReliableChannel {
   /// Must be installed during fabric wiring, before any traffic flows.
   void set_ack_sender(AckSender sender);
 
-  /// Transmit one message reliably. Called from the sending broker's router
-  /// thread; stamps seq + CRC, tracks the frame for retransmission, and
-  /// enqueues it on the pipe (non-blocking).
+  /// Transmit one message reliably: wrapped into a single-sub-frame wire
+  /// frame and sent through send_frame().
   void send(MessageHeader header, Payload body);
 
-  /// Ack received from the far side; forgets the pending frame.
-  void on_ack(std::uint64_t seq);
+  /// Transmit one wire frame reliably. Called from the sending broker's
+  /// router shards (directly or through the coalescer); stamps seq + the
+  /// frame CRC, tracks the frame for retransmission, and enqueues it on the
+  /// pipe (non-blocking).
+  void send_frame(WireFrame frame);
+
+  /// Acks received from the far side; forgets the pending frames.
+  void on_acks(const std::vector<std::uint64_t>& seqs);
 
   /// Stop the retransmitter thread (idempotent). Pending frames are
-  /// abandoned; call after the underlying pipes are quiescent.
+  /// abandoned and pending batched acks flushed; call after the underlying
+  /// pipes are quiescent.
   void stop();
 
   [[nodiscard]] std::uint64_t retransmits() const {
@@ -84,19 +107,19 @@ class ReliableChannel {
 
  private:
   struct Pending {
-    MessageHeader header;
-    Payload body;
+    WireFrame frame;
     std::int64_t deadline_ns = 0;
     std::int64_t rto_ns = 0;
     std::uint32_t retries = 0;
   };
 
-  void transmit(std::uint64_t seq, const MessageHeader& header,
-                const Payload& body);
+  void transmit(std::uint64_t seq, const WireFrame& frame);
   /// Runs on the data pipe's transmit thread when a frame survives the wire.
-  void deliver(std::uint64_t seq, MessageHeader header, Payload body,
+  void deliver(std::uint64_t seq, const WireFrame& frame,
                const FaultOutcome& outcome);
-  void send_ack(std::uint64_t seq);
+  /// Queue an ack; flushes the batch on size/deadline (recv_mu_ held).
+  void queue_ack_locked(std::uint64_t seq, std::vector<std::uint64_t>* flush);
+  void send_acks(const std::vector<std::uint64_t>& seqs);
   void retransmit_loop();
 
   const std::string name_;
@@ -112,11 +135,13 @@ class ReliableChannel {
   std::uint64_t next_seq_ = 1;
   bool stopping_ = false;
 
-  // Receiver-side dedup state: everything <= floor was delivered, plus the
-  // out-of-order set above it.
+  // Receiver-side state: dedup (everything <= floor was delivered, plus the
+  // out-of-order set above it) and the batched-ack buffer.
   std::mutex recv_mu_;
   std::uint64_t recv_floor_ = 0;
   std::unordered_set<std::uint64_t> recv_seen_;
+  std::vector<std::uint64_t> ack_pending_;
+  std::int64_t ack_oldest_ns_ = 0;
 
   std::thread retransmitter_;
 };

@@ -268,5 +268,121 @@ TEST(BrokerEndpoint, DeepCopyAblationStillDelivers) {
   EXPECT_NE(ma->body.get(), mb->body.get());  // copies, not shared
 }
 
+
+TEST(BrokerSharding, SameDestinationOrderingPreservedAcrossShards) {
+  Broker::Options options;
+  options.router_shards = 4;
+  Broker broker(0, options);
+  EXPECT_EQ(broker.router_shards(), 4u);
+  Endpoint sender(explorer_id(0, 0), broker);
+  Endpoint receiver(learner_id(0), broker);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(sender.send(make_outbound(sender.id(), {receiver.id()},
+                                          MsgType::kDummy, bytes_payload(8, 1),
+                                          /*tag=*/i)));
+  }
+  // One destination hashes onto exactly one shard, so its stream stays FIFO
+  // no matter how many shards exist.
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const auto msg = receiver.receive_for(std::chrono::seconds(5));
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->header.tag, i);
+  }
+}
+
+TEST(BrokerSharding, DeliveredSequencesAreShardCountInvariant) {
+  // The same mixed broadcast/point-to-point workload against 1, 2, and 8
+  // shards must hand every destination the identical tag sequence: sharding
+  // parallelizes unrelated destinations, never reorders one destination's
+  // stream or changes what is delivered.
+  constexpr std::uint16_t kReceivers = 6;
+  constexpr std::uint32_t kMessages = 120;
+  auto run = [&](std::uint32_t shards) {
+    Broker::Options options;
+    options.router_shards = shards;
+    Broker broker(0, options);
+    Endpoint sender(controller_id(0), broker);
+    std::vector<std::unique_ptr<Endpoint>> receivers;
+    std::vector<NodeId> all;
+    for (std::uint16_t i = 0; i < kReceivers; ++i) {
+      receivers.push_back(std::make_unique<Endpoint>(explorer_id(0, i), broker));
+      all.push_back(receivers.back()->id());
+    }
+    std::vector<std::size_t> expected(kReceivers, 0);
+    for (std::uint32_t i = 0; i < kMessages; ++i) {
+      std::vector<NodeId> dsts;
+      if (i % 3 == 0) {
+        dsts = all;
+        for (auto& n : expected) ++n;
+      } else {
+        dsts = {all[i % kReceivers]};
+        ++expected[i % kReceivers];
+      }
+      EXPECT_TRUE(sender.send(make_outbound(sender.id(), dsts,
+                                            MsgType::kCommand,
+                                            bytes_payload(4, 2), /*tag=*/i)));
+    }
+    std::vector<std::vector<std::uint32_t>> got(kReceivers);
+    for (std::uint16_t r = 0; r < kReceivers; ++r) {
+      for (std::size_t k = 0; k < expected[r]; ++k) {
+        const auto msg = receivers[r]->receive_for(std::chrono::seconds(5));
+        if (!msg.has_value()) break;
+        got[r].push_back(msg->header.tag);
+      }
+    }
+    return got;
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto eight = run(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(BrokerSharding, DropCountersAttributePerShard) {
+  Broker::Options options;
+  options.router_shards = 4;
+  Broker broker(0, options);
+  Endpoint sender(explorer_id(0, 0), broker);
+  constexpr std::uint64_t kUnrouted = 12;
+  for (std::uint16_t i = 0; i < kUnrouted; ++i) {
+    // Distinct never-registered destinations, spread across the shards.
+    ASSERT_TRUE(sender.send(make_outbound(sender.id(), {learner_id(0, i)},
+                                          MsgType::kDummy, bytes_payload(4, 3))));
+  }
+  for (int i = 0; i < 2500 && broker.dropped_messages() < kUnrouted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(broker.dropped_messages(DropReason::kUnknownDest), kUnrouted);
+  std::uint64_t by_shard = 0;
+  for (std::uint32_t s = 0; s < broker.router_shards(); ++s) {
+    by_shard += broker.shard_drops(s);
+  }
+  EXPECT_EQ(by_shard, kUnrouted);
+}
+
+TEST(BrokerSharding, QueueDepthSnapshotListsPerShardQueues) {
+  Broker::Options options;
+  options.router_shards = 2;
+  Broker broker(0, options);
+  const auto depths = broker.queue_depths();
+  auto has = [&](const std::string& name) {
+    for (const auto& [queue, depth] : depths) {
+      if (queue == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("router-m0"));
+  EXPECT_TRUE(has("router-m0/s0"));
+  EXPECT_TRUE(has("router-m0/s1"));
+}
+
+TEST(BrokerSharding, ShardCountIsClamped) {
+  Broker::Options options;
+  options.router_shards = 1000;
+  Broker broker(0, options);
+  EXPECT_EQ(broker.router_shards(), 64u);
+}
+
 }  // namespace
 }  // namespace xt

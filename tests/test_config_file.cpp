@@ -277,5 +277,50 @@ TEST(ConfigFile, LoadFromDiskAndMissingFile) {
   EXPECT_NE(error.find("cannot open"), std::string::npos);
 }
 
+TEST(ConfigFile, CommSection) {
+  const std::string text = R"(
+[comm]
+router_shards = 4
+coalescing = on
+coalesce_max_bytes = 512
+coalesce_flush_bytes = 4096
+coalesce_max_subframes = 16
+coalesce_flush_us = 750
+)";
+  std::string error;
+  const auto config = parse_launch_config(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->deployment.broker.router_shards, 4u);
+  EXPECT_TRUE(config->deployment.coalesce.enabled);
+  EXPECT_EQ(config->deployment.coalesce.max_subframe_bytes, 512u);
+  EXPECT_EQ(config->deployment.coalesce.flush_bytes, 4096u);
+  EXPECT_EQ(config->deployment.coalesce.max_subframes, 16u);
+  EXPECT_EQ(config->deployment.coalesce.flush_us, 750);
+}
+
+TEST(ConfigFile, CommSectionDefaultsOffAndSingleShard) {
+  std::string error;
+  const auto config = parse_launch_config("", &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->deployment.broker.router_shards, 1u);
+  EXPECT_FALSE(config->deployment.coalesce.enabled);
+}
+
+TEST(ConfigFile, CommSectionRejectsBadValues) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_launch_config("[comm]\nrouter_shards = 0\n", &error).has_value());
+  EXPECT_NE(error.find("router_shards"), std::string::npos);
+  EXPECT_FALSE(
+      parse_launch_config("[comm]\nrouter_shards = 65\n", &error).has_value());
+  EXPECT_FALSE(
+      parse_launch_config("[comm]\ncoalescing = maybe\n", &error).has_value());
+  EXPECT_FALSE(
+      parse_launch_config("[comm]\ncoalesce_flush_us = 0\n", &error).has_value());
+  EXPECT_FALSE(
+      parse_launch_config("[comm]\nbogus = 1\n", &error).has_value());
+  EXPECT_NE(error.find("[comm]"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace xt

@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
+#include "comm/broker.h"
+#include "comm/endpoint.h"
 #include "comm/message.h"
 #include "framework/runtime.h"
 #include "obs/exporters.h"
@@ -272,6 +276,38 @@ TEST(RuntimeTracing, DisabledByDefaultRecordsNoSpans) {
   EXPECT_EQ(runtime.trace().total_recorded(), 0u);
   // Metrics still flow when tracing is off.
   EXPECT_NE(report.prometheus.find("xt_messages_sent_total"), std::string::npos);
+}
+
+TEST(RuntimeTracing, ReadyPayloadLocalPathIsZeroCopyWithNoSerializeSpan) {
+  // The scatter-gather contract end to end: a message sent with a ready
+  // Payload (as opposed to a deferred producer) must reach a local receiver
+  // as the *same* buffer — no serialize hop, no copy — and its traced
+  // lifecycle must therefore contain no msg.serialize span.
+  TraceCollector trace(1024);
+  trace.enable();
+  Broker::Options options;
+  options.trace = &trace;
+  Broker broker(0, options);
+  Endpoint sender(explorer_id(0, 0), broker);
+  Endpoint receiver(learner_id(0), broker);
+
+  const Payload body = make_payload(Bytes(256, 8));
+  Outbound out = make_outbound(sender.id(), {receiver.id()}, MsgType::kRollout,
+                               body);
+  const std::uint64_t trace_id = out.header.trace_id();
+  ASSERT_TRUE(sender.send(std::move(out)));
+  const auto msg = receiver.receive_for(std::chrono::seconds(5));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->body.get(), body.get());  // the buffer, not a copy
+
+  bool saw_recv = false;
+  for (const TraceSpan& span : trace.snapshot()) {
+    if (span.trace_id != trace_id) continue;
+    EXPECT_NE(span.name, "msg.serialize")
+        << "ready-Payload send must not pay a serialize hop";
+    if (span.name == "msg.recv") saw_recv = true;
+  }
+  EXPECT_TRUE(saw_recv) << "lifecycle was not traced at all";
 }
 
 }  // namespace
