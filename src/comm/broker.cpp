@@ -31,6 +31,14 @@ std::string shard_label(const char* base, std::uint16_t machine,
          "\",shard=\"" + std::to_string(shard) + "\"}";
 }
 
+std::string shed_label(std::uint16_t machine, const char* reason) {
+  // Only experience is ever shed by the queue policy (control is never
+  // dropped, weights are backpressured), so the class label is fixed.
+  return std::string("xt_messages_shed_total{machine=\"") +
+         std::to_string(machine) + "\",class=\"experience\",reason=\"" +
+         reason + "\"}";
+}
+
 /// 64-bit finalizer (murmur3) spreading packed NodeIds — whose entropy sits
 /// in a few low bit groups — uniformly over the shard space.
 std::uint64_t mix64(std::uint64_t key) {
@@ -103,12 +111,25 @@ Broker::Broker(std::uint16_t machine, Options options)
       &metrics_.gauge(machine_label("xt_store_live_bytes", machine));
   store_.bind_instruments(store_instruments);
 
+  shed_router_ = &metrics_.counter(shed_label(machine, "router_overflow"));
+  shed_inbox_ = &metrics_.counter(shed_label(machine, "inbox_overflow"));
+
   const std::uint32_t n_shards = std::clamp<std::uint32_t>(
       options_.router_shards == 0 ? 1 : options_.router_shards, 1,
       kMaxRouterShards);
   shards_.reserve(n_shards);
   for (std::uint32_t s = 0; s < n_shards; ++s) {
-    auto shard = std::make_unique<RouterShard>();
+    // A shed header owned this shard's share of the submit-time store
+    // references; release exactly those so the refcount stays balanced.
+    auto shard = std::make_unique<RouterShard>(
+        options_.overload,
+        [this, s](TrafficClass /*cls*/, MessageHeader&& header) {
+          const std::uint32_t refs = shard_share(header, s);
+          for (std::uint32_t i = 0; i < refs; ++i) {
+            store_.release(header.object_id);
+          }
+          shed_router_->inc();
+        });
     shard->depth =
         &metrics_.gauge(shard_label("xt_router_shard_depth", machine, s));
     shard->drops = &metrics_.counter(
@@ -140,7 +161,12 @@ void Broker::stop() {
 }
 
 std::shared_ptr<IdQueue> Broker::register_endpoint(const NodeId& id) {
-  auto queue = std::make_shared<IdQueue>();
+  // Every RoutedHeader in an inbox owns exactly one store reference.
+  auto queue = std::make_shared<IdQueue>(
+      options_.overload, [this](TrafficClass /*cls*/, RoutedHeader&& routed) {
+        store_.release(routed.header.object_id);
+        shed_inbox_->inc();
+      });
   std::scoped_lock lock(mu_);
   endpoints_[id] = queue;
   return queue;
@@ -169,10 +195,14 @@ std::uint64_t Broker::machine_shard_key(std::uint16_t machine) {
 }
 
 bool Broker::submit(MessageHeader header) {
+  const TrafficClass cls = header.tclass;
   if (shards_.size() == 1) {
-    const bool accepted = shards_[0]->queue.push(std::move(header));
-    if (accepted) publish_total_depth();
-    return accepted;
+    // kShed counts as accepted: the shed callback already released the
+    // header's store references, so the caller must not release them again.
+    const PushResult result = shards_[0]->queue.push(cls, std::move(header));
+    if (result == PushResult::kClosed) return false;
+    publish_total_depth();
+    return true;
   }
   // Fan the header to every shard that owns at least one of its local
   // destinations or remote target machines. Each shard routes only its own
@@ -196,7 +226,10 @@ bool Broker::submit(MessageHeader header) {
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     if (share[s] == 0) continue;
     any_consumer = true;
-    if (shards_[s]->queue.push(header)) {
+    // kShed is "accepted": the shard's shed callback released share[s]
+    // references itself (via shard_share). Only a closed queue leaves its
+    // share unbalanced.
+    if (shards_[s]->queue.push(cls, header) != PushResult::kClosed) {
       any_accepted = true;
     } else {
       rejected_refs += share[s];
@@ -210,9 +243,30 @@ bool Broker::submit(MessageHeader header) {
     }
   }
   // Destination-less headers still drain through shard 0 (legacy behavior).
-  if (!any_consumer) any_accepted = shards_[0]->queue.push(header);
+  if (!any_consumer) {
+    any_accepted = shards_[0]->queue.push(cls, header) != PushResult::kClosed;
+  }
   if (any_accepted) publish_total_depth();
   return any_accepted;
+}
+
+std::uint32_t Broker::shard_share(const MessageHeader& header,
+                                  std::uint32_t shard) const {
+  if (shards_.size() == 1) return expected_fetches(header);
+  std::uint32_t share = 0;
+  std::set<std::uint16_t> remote_machines;
+  for (const NodeId& dst : header.dsts) {
+    if (dst.machine == machine_) {
+      if (shard_of(dst.packed()) == shard) ++share;
+    } else if (remote_machines.insert(dst.machine).second &&
+               shard_of(machine_shard_key(dst.machine)) == shard) {
+      ++share;
+    }
+  }
+  // Destination-less headers drain through shard 0 and were stored with one
+  // reference (expected_fetches floors at 1).
+  if (header.dsts.empty() && shard == 0) return 1;
+  return share;
 }
 
 void Broker::publish_total_depth() {
@@ -312,11 +366,8 @@ void Broker::route(MessageHeader header, std::uint32_t shard_index,
     if (!queue) {
       store_.release(header.object_id);
       note_drop(DropReason::kUnknownDest, &shard);
-    } else if (!queue->push(RoutedHeader{header, routed_ns})) {
-      store_.release(header.object_id);
-      note_drop(DropReason::kClosedDest, &shard);
     } else {
-      inst_.routed.inc();
+      push_inbox(*queue, header, routed_ns, &shard);
     }
   }
 
@@ -381,14 +432,28 @@ bool Broker::deliver_remote(MessageHeader header, Payload body) {
     if (!queue) {
       store_.release(header.object_id);
       note_drop(DropReason::kUnknownDest);
-    } else if (!queue->push(RoutedHeader{header, routed_ns})) {
-      store_.release(header.object_id);
-      note_drop(DropReason::kClosedDest);
     } else {
-      inst_.routed.inc();
+      push_inbox(*queue, header, routed_ns, nullptr);
     }
   }
   return true;
+}
+
+void Broker::push_inbox(IdQueue& queue, const MessageHeader& header,
+                        std::int64_t routed_ns, RouterShard* shard) {
+  switch (queue.push(header.tclass, RoutedHeader{header, routed_ns})) {
+    case PushResult::kEnqueued:
+      inst_.routed.inc();
+      break;
+    case PushResult::kShed:
+      // The inbox shed callback released the store reference and counted
+      // the shed; not a drop (the overload policy worked as designed).
+      break;
+    case PushResult::kClosed:
+      store_.release(header.object_id);
+      note_drop(DropReason::kClosedDest, shard);
+      break;
+  }
 }
 
 void Broker::reject_corrupt_frame(std::size_t subframes) {
@@ -415,6 +480,11 @@ std::uint64_t Broker::dropped_messages(DropReason reason) const {
 
 std::uint64_t Broker::corrupted_frames() const {
   return static_cast<std::uint64_t>(inst_.corrupted.value());
+}
+
+std::uint64_t Broker::shed_messages() const {
+  return static_cast<std::uint64_t>(shed_router_->value()) +
+         static_cast<std::uint64_t>(shed_inbox_->value());
 }
 
 std::vector<std::pair<std::string, std::size_t>> Broker::queue_depths() const {

@@ -15,6 +15,7 @@
 #include "compress/codec.h"
 #include "comm/message.h"
 #include "comm/object_store.h"
+#include "comm/overload.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -31,7 +32,10 @@ struct RoutedHeader {
 
 /// Per-destination queue of message headers ("ID queue" in paper Fig. 2(a)):
 /// the router passes object ids + metadata to each destination process here.
-using IdQueue = BlockingQueue<RoutedHeader>;
+/// Classed: a heartbeat routed into a deep inbox is still popped next, and
+/// under a bounded `[comm]` overload config the data plane sheds experience
+/// instead of growing without limit.
+using IdQueue = ClassedQueue<RoutedHeader>;
 
 /// Sink for messages leaving this machine; the network simulator implements
 /// it with a bandwidth-paced link whose far end calls deliver_remote() on
@@ -86,6 +90,10 @@ class Broker {
     /// injects its per-run instances here.
     MetricsRegistry* metrics = nullptr;
     TraceCollector* trace = nullptr;
+    /// Overload policy for the router shard queues and every ID queue
+    /// (`[comm] overload_high_watermark` etc.). Default = unbounded, the
+    /// historical behaviour.
+    OverloadConfig overload;
   };
 
   explicit Broker(std::uint16_t machine);
@@ -162,6 +170,12 @@ class Broker {
   /// also `xt_frames_corrupted_total{machine=...}`).
   [[nodiscard]] std::uint64_t corrupted_frames() const;
 
+  /// Experience messages shed by bounded queues on this machine (router
+  /// shards + ID queues). Also `xt_messages_shed_total{machine,class,reason}`.
+  /// Deliberately separate from dropped_messages(): a shed is the overload
+  /// policy working as designed, a drop is a routing/integrity failure.
+  [[nodiscard]] std::uint64_t shed_messages() const;
+
   /// Depth snapshot for the saturation sampler: the router's header queue
   /// ("router-mN", total across shards, plus "router-mN/sK" per shard when
   /// sharded) and every registered endpoint's ID queue ("inbox-<node>").
@@ -202,7 +216,10 @@ class Broker {
 
   /// One router shard: its own header queue, thread, and telemetry handles.
   struct RouterShard {
-    BlockingQueue<MessageHeader> queue;
+    RouterShard(const OverloadConfig& cfg,
+                ClassedQueue<MessageHeader>::ShedFn on_shed)
+        : queue(cfg, std::move(on_shed)) {}
+    ClassedQueue<MessageHeader> queue;
     Gauge* depth = nullptr;    ///< xt_router_shard_depth{machine,shard}
     Counter* drops = nullptr;  ///< xt_router_shard_drops_total{machine,shard}
     std::thread thread;
@@ -212,6 +229,15 @@ class Broker {
   void route(MessageHeader header, std::uint32_t shard_index,
              RouterShard& shard);
   void publish_total_depth();
+  /// Store references shard `shard` will consume for `header` — the share of
+  /// expected_fetches() that submit() routed to it. Used by the shard shed
+  /// callback to release exactly the references the shed header owned.
+  [[nodiscard]] std::uint32_t shard_share(const MessageHeader& header,
+                                          std::uint32_t shard) const;
+  /// Push a routed header into an ID queue, translating the outcome into
+  /// ref-accounting + drop/shed telemetry (shared by route/deliver_remote).
+  void push_inbox(IdQueue& queue, const MessageHeader& header,
+                  std::int64_t routed_ns, RouterShard* shard);
   /// Count a drop (total + per-reason, plus per-shard when attributable) and
   /// emit a rate-limited warning (one line per warning interval, not one per
   /// dropped message).
@@ -224,6 +250,8 @@ class Broker {
   Instruments inst_;
   std::array<Counter*, static_cast<std::size_t>(DropReason::kCount)>
       drop_by_reason_{};
+  Counter* shed_router_ = nullptr;  ///< xt_messages_shed_total{...router_overflow}
+  Counter* shed_inbox_ = nullptr;   ///< xt_messages_shed_total{...inbox_overflow}
   CodecInstruments codec_instruments_;
   ObjectStore store_;
   std::vector<std::unique_ptr<RouterShard>> shards_;

@@ -12,6 +12,25 @@ std::string machine_label(const char* base, std::uint16_t machine) {
   return std::string(base) + "{machine=\"" + std::to_string(machine) + "\"}";
 }
 
+std::string shed_label(std::uint16_t machine, const char* reason) {
+  return std::string("xt_messages_shed_total{machine=\"") +
+         std::to_string(machine) + "\",class=\"experience\",reason=\"" +
+         reason + "\"}";
+}
+
+/// Endpoint buffers follow the broker's `[comm]` overload policy when one is
+/// configured; otherwise a legacy capacity becomes a degenerate config whose
+/// high and low watermarks coincide, reproducing the historical
+/// block-until-a-slot-frees semantics exactly (capacity 0 stays unbounded).
+OverloadConfig buffer_config(const OverloadConfig& overload,
+                             std::size_t capacity) {
+  if (overload.bounded()) return overload;
+  OverloadConfig legacy;
+  legacy.high_watermark = capacity;
+  legacy.low_watermark = capacity;
+  return legacy;
+}
+
 }  // namespace
 
 Endpoint::Endpoint(NodeId id, Broker& broker, std::size_t send_capacity,
@@ -37,8 +56,19 @@ Endpoint::Endpoint(NodeId id, Broker& broker, std::size_t send_capacity,
             broker.metrics().histogram(
                 machine_label("xt_transmission_ms", id.machine))},
       id_queue_(broker.register_endpoint(id)),
-      send_buffer_(send_capacity),
-      recv_buffer_(recv_capacity) {
+      overload_bounded_(broker.options().overload.bounded()),
+      send_buffer_(buffer_config(broker.options().overload, send_capacity),
+                   [this](TrafficClass /*cls*/, Outbound&& /*message*/) {
+                     shed_send_->inc();
+                   }),
+      recv_buffer_(buffer_config(broker.options().overload, recv_capacity),
+                   [this](TrafficClass /*cls*/, Message&& /*message*/) {
+                     shed_recv_->inc();
+                   }) {
+  shed_send_ = &broker.metrics().counter(
+      shed_label(id.machine, "sendbuf_overflow"));
+  shed_recv_ = &broker.metrics().counter(
+      shed_label(id.machine, "recvbuf_overflow"));
   sender_ = std::thread([this] {
     set_current_thread_name("snd-" + id_.name());
     sender_loop();
@@ -61,7 +91,12 @@ void Endpoint::stop() {
 }
 
 bool Endpoint::send(Outbound message) {
-  return send_buffer_.push(std::move(message));
+  return send(std::move(message), nullptr);
+}
+
+bool Endpoint::send(Outbound message, const std::function<void()>& on_wait) {
+  const TrafficClass cls = message.header.tclass;
+  return send_buffer_.push_gated(cls, std::move(message), on_wait);
 }
 
 std::optional<Message> Endpoint::receive() { return recv_buffer_.pop(); }
@@ -192,7 +227,16 @@ void Endpoint::receiver_loop() {
     if (latency_recorder_ != nullptr) {
       latency_recorder_->add(ns_to_ms(now_ns() - header.created_ns));
     }
-    recv_buffer_.push(Message{std::move(header), std::move(*body)});
+    const TrafficClass cls = header.tclass;
+    Message message{std::move(header), std::move(*body)};
+    if (overload_bounded_) {
+      // Overload mode: never stall the receiver thread — shed experience
+      // (counted as recvbuf_overflow) so control keeps flowing.
+      recv_buffer_.push(cls, std::move(message));
+    } else {
+      // Legacy mode: a bounded recv buffer blocks until the consumer drains.
+      recv_buffer_.push_gated(cls, std::move(message));
+    }
   }
 }
 

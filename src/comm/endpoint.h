@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -10,6 +11,7 @@
 #include "common/stats.h"
 #include "comm/broker.h"
 #include "comm/message.h"
+#include "comm/overload.h"
 
 namespace xt {
 
@@ -48,9 +50,17 @@ class Endpoint {
 
   [[nodiscard]] const NodeId& id() const { return id_; }
 
-  /// Enqueue a message for asynchronous transmission. Returns immediately;
-  /// the sender thread picks it up. False once the endpoint is stopped.
+  /// Enqueue a message for asynchronous transmission. Control returns
+  /// immediately; data classes go through the send-credit gate when the
+  /// buffer is bounded (experience blocks until the sender drains below the
+  /// low watermark — that pause is how backpressure reaches the producer).
+  /// False once the endpoint is stopped.
   bool send(Outbound message);
+
+  /// Same, invoking `on_wait` roughly every 5ms while gated so the caller
+  /// can keep heartbeating (an explorer paused on a full send buffer must
+  /// not look dead to the supervisor).
+  bool send(Outbound message, const std::function<void()>& on_wait);
 
   /// Blocking receive; nullopt when the endpoint has been stopped and the
   /// receive buffer is drained.
@@ -95,10 +105,16 @@ class Endpoint {
   const NodeId id_;
   Broker& broker_;
   Instruments inst_;
+  Counter* shed_send_ = nullptr;  ///< xt_messages_shed_total{...sendbuf_overflow}
+  Counter* shed_recv_ = nullptr;  ///< xt_messages_shed_total{...recvbuf_overflow}
   std::shared_ptr<IdQueue> id_queue_;
 
-  BlockingQueue<Outbound> send_buffer_;
-  BlockingQueue<Message> recv_buffer_;
+  /// True when the broker's `[comm]` overload config bounds the comm core;
+  /// the receive buffer then sheds experience instead of stalling the
+  /// receiver thread (legacy capacities keep their blocking semantics).
+  const bool overload_bounded_;
+  ClassedQueue<Outbound> send_buffer_;
+  ClassedQueue<Message> recv_buffer_;
 
   Counters counters_;
   LatencyRecorder* latency_recorder_ = nullptr;

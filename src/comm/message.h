@@ -22,6 +22,54 @@ enum class MsgType : std::uint8_t {
   kHeartbeat = 5, ///< worker -> controller: liveness beacon (empty body)
 };
 
+/// Traffic classes for overload arbitration (DESIGN.md §10). Ordering is the
+/// priority: lower value = more important. Under overload the comm core
+/// never drops control, backpressures weights, and sheds experience — so the
+/// supervision plane stays live while bulk data degrades gracefully.
+enum class TrafficClass : std::uint8_t {
+  kControl = 0,     ///< heartbeats, commands, acks — never dropped
+  kWeights = 1,     ///< model parameters — backpressured, not dropped
+  kExperience = 2,  ///< rollouts, stats, bulk data — shed first under overload
+};
+inline constexpr std::uint8_t kTrafficClassCount = 3;
+
+/// Default class for a message type. Callers can override per-message (the
+/// field lives in the header), but in practice the type determines the class.
+///
+/// Strict priority is only starvation-free when the higher lanes are low-rate
+/// by construction. Heartbeats are rate-limited per worker, commands are
+/// rare, acks are bounded by the data frame rate — so control stays a
+/// trickle. Stats are NOT control: short episodes can emit thousands of
+/// stats records per second, enough to saturate a paced link's frame budget
+/// on their own, and classifying them above rollouts starves the data plane
+/// outright. They are droppable telemetry — experience class.
+[[nodiscard]] constexpr TrafficClass traffic_class_of(MsgType type) {
+  switch (type) {
+    case MsgType::kWeights:
+      return TrafficClass::kWeights;
+    case MsgType::kRollout:
+    case MsgType::kDummy:
+    case MsgType::kStats:
+      return TrafficClass::kExperience;
+    case MsgType::kCommand:
+    case MsgType::kHeartbeat:
+      return TrafficClass::kControl;
+  }
+  return TrafficClass::kExperience;
+}
+
+[[nodiscard]] constexpr const char* traffic_class_name(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kControl:
+      return "control";
+    case TrafficClass::kWeights:
+      return "weights";
+    case TrafficClass::kExperience:
+      return "experience";
+  }
+  return "experience";
+}
+
 /// Lightweight metadata that travels through header/ID queues. Bodies move
 /// separately through the zero-copy object store; only this struct is
 /// copied per destination.
@@ -36,6 +84,9 @@ struct MessageHeader {
   std::uint64_t uncompressed_size = 0;
   std::int64_t created_ns = 0;  ///< when the workhorse produced the message
   std::uint32_t tag = 0;        ///< free-form (e.g. training iteration, PBT rank)
+  /// Overload arbitration lane (see TrafficClass). Stamped by make_outbound
+  /// from the message type and carried on the wire per sub-frame.
+  TrafficClass tclass = TrafficClass::kExperience;
 
   /// Wire integrity: CRC-32 of the body, stamped by the sending fabric when
   /// the link has fault injection enabled (or reliability on) and verified

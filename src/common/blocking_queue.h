@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -34,21 +35,28 @@ class BlockingQueue {
     std::unique_lock lock(mu_);
     not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
     if (closed_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
-    not_empty_.notify_one();
-    return true;
+    return push_and_notify_locked(lock, std::move(value));
+  }
+
+  /// Blocks up to `timeout` while full; false on timeout or closed. A push
+  /// against a stalled consumer fails deterministically instead of hanging
+  /// the producer forever — the primitive the overload credit gate builds on.
+  template <typename Rep, typename Period>
+  bool push_for(T value, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_full_.wait_for(lock, timeout,
+                            [&] { return closed_ || !full_locked(); })) {
+      return false;
+    }
+    if (closed_) return false;
+    return push_and_notify_locked(lock, std::move(value));
   }
 
   /// Non-blocking push; returns false if full or closed.
   bool try_push(T value) {
-    {
-      std::scoped_lock lock(mu_);
-      if (closed_ || full_locked()) return false;
-      items_.push_back(std::move(value));
-    }
-    not_empty_.notify_one();
-    return true;
+    std::unique_lock lock(mu_);
+    if (closed_ || full_locked()) return false;
+    return push_and_notify_locked(lock, std::move(value));
   }
 
   /// Blocks until an element is available or the queue is closed and drained.
@@ -101,6 +109,16 @@ class BlockingQueue {
  private:
   [[nodiscard]] bool full_locked() const {
     return capacity_ != 0 && items_.size() >= capacity_;
+  }
+
+  /// All push paths funnel through here so every successful enqueue wakes a
+  /// consumer outside the lock; an inconsistent notify on one path would be
+  /// a lost-wakeup bug that only shows up under contention.
+  bool push_and_notify_locked(std::unique_lock<std::mutex>& lock, T value) {
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
   }
 
   std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {

@@ -355,6 +355,20 @@ bool apply_faults_key(LaunchConfig& config, const std::string& key,
     deployment.supervision.max_restarts_per_worker = static_cast<std::uint32_t>(u);
     return true;
   }
+  if (key == "suspect_grace_s") {
+    if (!parse_double(value, &d) || d < 0.0) {
+      return fail(error, line, "bad suspect_grace_s (want >= 0)");
+    }
+    deployment.supervision.suspect_grace_s = d;
+    return true;
+  }
+  if (key == "respawn_min_interval_s") {
+    if (!parse_double(value, &d) || d < 0.0) {
+      return fail(error, line, "bad respawn_min_interval_s (want >= 0)");
+    }
+    deployment.supervision.respawn_min_interval_s = d;
+    return true;
+  }
   if (key == "checkpoint") {
     deployment.checkpoint_path = value;
     return true;
@@ -373,6 +387,8 @@ bool apply_comm_key(LaunchConfig& config, const std::string& key,
                     const std::string& value, int line, std::string* error) {
   DeploymentConfig& deployment = config.deployment;
   CoalesceConfig& coalesce = deployment.coalesce;
+  OverloadConfig& overload = deployment.overload;
+  double d = 0.0;
   std::uint64_t u = 0;
   bool b = false;
   if (key == "router_shards") {
@@ -413,6 +429,61 @@ bool apply_comm_key(LaunchConfig& config, const std::string& key,
       return fail(error, line, "bad coalesce_flush_us");
     }
     coalesce.flush_us = static_cast<std::int64_t>(u);
+    return true;
+  }
+  // Overload policy. Out-of-range values are rejected here with the exact
+  // bound in the message — never silently clamped, a clamped watermark is a
+  // config the operator did not write.
+  if (key == "overload_high_watermark") {
+    if (!parse_u64(value, &u) || u > 100'000'000) {
+      return fail(error, line,
+                  "bad overload_high_watermark (want 0..100000000; 0 disables"
+                  " bounding)");
+    }
+    overload.high_watermark = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (key == "overload_low_watermark") {
+    if (!parse_u64(value, &u) || u > 100'000'000) {
+      return fail(error, line,
+                  "bad overload_low_watermark (want 0..100000000; 0 means"
+                  " high/2)");
+    }
+    overload.low_watermark = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (key == "shed_policy") {
+    if (value == "oldest") {
+      overload.shed_policy = ShedPolicy::kOldest;
+    } else if (value == "newest") {
+      overload.shed_policy = ShedPolicy::kNewest;
+    } else {
+      return fail(error, line,
+                  "bad shed_policy '" + value + "' (want oldest or newest)");
+    }
+    return true;
+  }
+  if (key == "weights_block_ms") {
+    if (!parse_double(value, &d) || d < 0.0 || d > 60'000.0) {
+      return fail(error, line, "bad weights_block_ms (want 0..60000)");
+    }
+    overload.weights_block_ms = d;
+    return true;
+  }
+  if (key == "breaker_failures") {
+    if (!parse_u64(value, &u) || u > 1024) {
+      return fail(error, line,
+                  "bad breaker_failures (want 0..1024; 0 disables the"
+                  " breaker)");
+    }
+    overload.breaker_failures = static_cast<std::uint32_t>(u);
+    return true;
+  }
+  if (key == "breaker_probe_ms") {
+    if (!parse_double(value, &d) || d <= 0.0 || d > 60'000.0) {
+      return fail(error, line, "bad breaker_probe_ms (want >0 and <=60000)");
+    }
+    overload.breaker_probe_ms = d;
     return true;
   }
   return fail(error, line, "unknown [comm] key '" + key + "'");
@@ -523,6 +594,25 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       ok = apply_faults_key(config, key, value, line, error);
     }
     if (!ok) return std::nullopt;
+  }
+
+  // Cross-field validation of the overload watermarks, after every key is in
+  // (so key order in the file does not matter): a low watermark without a
+  // high one gates nothing, and the hysteresis band needs low < high.
+  const OverloadConfig& overload = config.deployment.overload;
+  if (overload.low_watermark > 0 && overload.high_watermark == 0) {
+    if (error != nullptr) {
+      *error = "[comm] overload_low_watermark requires overload_high_watermark";
+    }
+    return std::nullopt;
+  }
+  if (overload.low_watermark > 0 &&
+      overload.low_watermark >= overload.high_watermark) {
+    if (error != nullptr) {
+      *error =
+          "[comm] overload_low_watermark must be below overload_high_watermark";
+    }
+    return std::nullopt;
   }
 
   // PPO's learner must know the explorer count; keep them consistent.

@@ -53,6 +53,12 @@ namespace xt {
 /// coalesce_max_subframes = 32     # flush at this many sub-frames ...
 /// coalesce_flush_bytes = 4096     # ... or this many estimated wire bytes
 /// coalesce_flush_us = 1000        # ... or this much sub-frame age
+/// overload_high_watermark = 4096  # bound comm queues (0 = unbounded)
+/// overload_low_watermark = 2048   # resume gated sends below this (0 = high/2)
+/// shed_policy = oldest            # oldest | newest (experience class only)
+/// weights_block_ms = 100          # weights-class backpressure budget
+/// breaker_failures = 3            # link breaker trip threshold (0 = off)
+/// breaker_probe_ms = 250          # half-open probe interval
 ///
 /// [faults]                        # chaos fabric + self-healing (all optional)
 /// seed = 11                       # deterministic fault schedule
@@ -72,6 +78,8 @@ namespace xt {
 /// heartbeat_every_s = 0.25
 /// heartbeat_timeout_s = 1.5
 /// max_worker_restarts = 3
+/// suspect_grace_s = 0             # extra grace before a suspect is killed
+/// respawn_min_interval_s = 0      # per-worker respawn rate limit
 /// checkpoint = run.ckpt           # learner checkpoint (restore on respawn)
 /// checkpoint_every_versions = 25
 /// ```

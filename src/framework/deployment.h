@@ -66,6 +66,10 @@ struct DeploymentConfig {
   ReliabilityConfig reliability;   ///< ack/retransmit on cross-machine links
   CoalesceConfig coalesce;         ///< control-frame batching on those links
   SupervisionConfig supervision;   ///< heartbeats + worker respawn
+  /// `[comm]` overload policy (watermarks, shed policy, breaker knobs).
+  /// When bounded, the runtime applies it to broker queues, endpoint
+  /// buffers, paced pipes, and the reliable links' circuit breakers.
+  OverloadConfig overload;
 
   /// If non-empty, the learner checkpoints its weights here (atomic write)
   /// and a learner respawn restores from the latest good checkpoint.
@@ -143,6 +147,9 @@ struct RunReport {
   std::uint64_t rollout_messages = 0;
   std::uint64_t rollout_bytes = 0;
   std::uint64_t weight_broadcasts = 0;
+  /// Weight updates actually applied by explorers — the proof that
+  /// weights-class traffic still lands when experience is being shed.
+  std::uint64_t weights_applied = 0;
 
   // Robustness (chaos fabric + supervision; all zero in a healthy run).
   std::uint64_t faults_injected = 0;    ///< drops+corruptions+delays+blackouts
@@ -153,6 +160,13 @@ struct RunReport {
   std::uint64_t explorer_restarts = 0;
   std::uint64_t learner_restarts = 0;   ///< each restored from checkpoint
   std::uint64_t degraded_workers = 0;   ///< abandoned after restart budget
+
+  // Overload model (all zero when the run never hit a watermark).
+  std::uint64_t messages_shed = 0;      ///< experience shed by bounded queues
+  std::uint64_t frames_shed = 0;        ///< experience frames shed at pipes
+  std::uint64_t breaker_opens = 0;      ///< link circuit-breaker trips
+  std::uint64_t workers_suspected = 0;  ///< silence episodes (suspect state)
+  std::uint64_t respawns_suppressed = 0;  ///< rate-limited respawn attempts
 
   // Bottleneck attribution (filled when tracing / profiling were enabled).
   /// Per-stage latency breakdown over every traced message lifecycle

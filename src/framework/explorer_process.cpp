@@ -30,6 +30,8 @@ ExplorerProcess::ExplorerProcess(NodeId node, std::uint32_t explorer_index,
           "xt_explorer_env_steps_total{machine=\"" + std::to_string(node.machine) + "\"}")),
       batches_counter_(broker.metrics().counter(
           "xt_explorer_batches_total{machine=\"" + std::to_string(node.machine) + "\"}")),
+      weights_applied_counter_(broker.metrics().counter(
+          "xt_weights_applied_total{machine=\"" + std::to_string(node.machine) + "\"}")),
       metrics_(broker.metrics()) {
   if (config.supervision.enabled) {
     heartbeat_ = std::make_unique<Heartbeater>(
@@ -62,7 +64,9 @@ void ExplorerProcess::drain_inbox() {
   while (auto msg = endpoint_.try_receive()) {
     switch (msg->header.type) {
       case MsgType::kWeights:
-        (void)agent_->apply_weights(*msg->body, msg->header.tag);
+        if (agent_->apply_weights(*msg->body, msg->header.tag)) {
+          weights_applied_counter_.inc();
+        }
         break;
       case MsgType::kCommand:
         stop_.store(true);
@@ -103,7 +107,14 @@ void ExplorerProcess::ship_batch() {
       trace_->record(span);
     }
   }
-  (void)endpoint_.send(std::move(out));
+  // Backpressure gate: with a bounded overload config this send blocks
+  // while the fabric sits above its high watermark (the explorer pauses
+  // rollout production instead of queueing unbounded bodies). Keep
+  // heartbeating from the wait loop so the supervisor sees a slowed
+  // explorer, not a dead one.
+  (void)endpoint_.send(std::move(out), [this] {
+    if (heartbeat_) heartbeat_->tick();
+  });
 
   if (agent_->requires_fresh_weights()) {
     // On-policy (PPO): block this explorer until the learner's next
@@ -119,7 +130,9 @@ void ExplorerProcess::ship_batch() {
       auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
       if (!msg) continue;
       if (msg->header.type == MsgType::kWeights) {
-        (void)agent_->apply_weights(*msg->body, msg->header.tag);
+        if (agent_->apply_weights(*msg->body, msg->header.tag)) {
+          weights_applied_counter_.inc();
+        }
       } else if (msg->header.type == MsgType::kCommand) {
         stop_.store(true);
       }

@@ -68,6 +68,7 @@ class ExplorerProcess {
   Histogram& wait_weights_hist_; ///< on-policy block for fresh weights
   Counter& env_steps_counter_;
   Counter& batches_counter_;
+  Counter& weights_applied_counter_;  ///< broadcasts actually applied here
   MetricsRegistry& metrics_;     ///< kernel-telemetry binding for the worker
   std::int64_t rollout_start_ns_ = 0;  ///< worker thread only
 

@@ -93,6 +93,18 @@ XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
   config_.broker.metrics = metrics_.get();
   config_.broker.trace = trace_.get();
 
+  // `[comm]` overload policy: the one config drives every bounded stage —
+  // broker router/inbox queues, endpoint buffers, paced pipes, and (only
+  // when watermarks are actually set) the reliable links' circuit breakers.
+  // Unbounded by default, which leaves legacy configs behaviourally
+  // untouched.
+  config_.broker.overload = config_.overload;
+  config_.link.overload = config_.overload;
+  if (config_.overload.bounded()) {
+    config_.reliability.breaker_failures = config_.overload.breaker_failures;
+    config_.reliability.breaker_probe_ms = config_.overload.breaker_probe_ms;
+  }
+
   // Probe the environment once for network sizing.
   auto probe = make_environment(setup_.env_name);
   assert(probe && "unknown environment name");
@@ -160,6 +172,7 @@ XingTianRuntime::XingTianRuntime(AlgoSetup setup, DeploymentConfig config)
     supervisor_->watch(learner_id_, [this](std::uint32_t attempt) {
       return respawn_learner(attempt);
     });
+    supervisor_->set_congestion_probe([this] { return fabric_congested(); });
   }
 
   // Everything the saturation probe reads (brokers, fabric, pool) now
@@ -286,7 +299,11 @@ void XingTianRuntime::controller_loop() {
     // much as dedicated beacons. This matters under congestion: heartbeats
     // queue behind multi-megabyte rollout frames on the paced link, and a
     // timeout that only trusted kHeartbeat would respawn healthy workers.
-    if (supervisor_) supervisor_->note_heartbeat(msg->header.src);
+    // Liveness is keyed to the message's creation time: a congested inbox
+    // draining a dead worker's backlog must not keep it looking alive.
+    if (supervisor_) {
+      supervisor_->note_heartbeat(msg->header.src, msg->header.created_ns);
+    }
     if (msg->header.type == MsgType::kHeartbeat) continue;
     if (msg->header.type != MsgType::kStats) continue;
     auto record = StatsRecord::deserialize(*msg->body);
@@ -347,6 +364,25 @@ void XingTianRuntime::inject_explorer_crash(std::size_t global_index) {
 void XingTianRuntime::inject_learner_crash() {
   std::scoped_lock lock(workers_mu_);
   if (learner_) learner_->inject_crash();
+}
+
+bool XingTianRuntime::fabric_congested() const {
+  // An open (or probing) breaker is the strongest overload signal: the link
+  // gave up on enough frames in a row that bulk traffic is being refused.
+  for (const ReliableChannel* channel : fabric_->channels()) {
+    if (channel->state() != LinkState::kClosed) return true;
+  }
+  if (!config_.overload.bounded()) return false;
+  const std::size_t high = config_.overload.high_watermark;
+  for (const auto& broker : brokers_) {
+    for (const auto& [queue, depth] : broker->queue_depths()) {
+      if (depth >= high) return true;
+    }
+  }
+  for (const PacedPipe* pipe : fabric_->pipes()) {
+    if (pipe->queued_frames() >= high) return true;
+  }
+  return false;
 }
 
 bool XingTianRuntime::respawn_explorer(std::size_t global_index,
@@ -493,6 +529,7 @@ RunReport XingTianRuntime::run() {
   report.rollout_messages = learner_->rollout_messages();
   report.rollout_bytes = learner_->rollout_bytes();
   report.weight_broadcasts = learner_->weight_broadcasts();
+  report.weights_applied = family_total(*metrics_, "xt_weights_applied_total");
 
   // Robustness: chaos-fabric and supervision tallies (all zero when faults
   // are off and every worker stayed alive).
@@ -500,12 +537,20 @@ RunReport XingTianRuntime::run() {
   report.frames_corrupted =
       family_total(*metrics_, "xt_frames_corrupted_total");
   report.retransmits = family_total(*metrics_, "xt_retransmits_total");
+  // Overload-model tallies: sheds across every bounded stage (router,
+  // inbox, endpoint buffers), pipe-level frame sheds, and breaker trips.
+  report.messages_shed = family_total(*metrics_, "xt_messages_shed_total");
+  report.frames_shed = family_total(*metrics_, "xt_frames_shed_total");
+  report.breaker_opens =
+      family_total(*metrics_, "xt_link_breaker_opens_total");
   if (supervisor_) {
     report.heartbeats_missed = supervisor_->heartbeats_missed();
     report.worker_restarts = supervisor_->restarts();
     report.explorer_restarts = supervisor_->explorer_restarts();
     report.learner_restarts = supervisor_->learner_restarts();
     report.degraded_workers = supervisor_->degraded();
+    report.workers_suspected = supervisor_->suspects();
+    report.respawns_suppressed = supervisor_->respawns_suppressed();
     if (report.worker_restarts > 0) {
       XT_LOG_INFO << "run survived " << report.worker_restarts
                   << " worker restart(s) (" << report.explorer_restarts

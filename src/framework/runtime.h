@@ -85,6 +85,11 @@ class XingTianRuntime {
   /// supervisor). Return false when shutdown already started.
   bool respawn_explorer(std::size_t global_index, std::uint32_t attempt);
   bool respawn_learner(std::uint32_t attempt);
+  /// The supervisor's congestion probe: true when the comm fabric shows
+  /// overload evidence (any link breaker not closed, or — with a bounded
+  /// overload config — any broker queue / pipe backlog at the high
+  /// watermark). Controller thread, only while some worker is suspect.
+  [[nodiscard]] bool fabric_congested() const;
 
   AlgoSetup setup_;
   DeploymentConfig config_;

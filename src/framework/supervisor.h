@@ -22,6 +22,17 @@ struct SupervisionConfig {
   /// After this many restarts a worker is abandoned (degraded mode): the
   /// run continues with the workers that remain.
   std::uint32_t max_restarts_per_worker = 3;
+  /// A silent worker becomes *suspect* at the heartbeat timeout and is only
+  /// declared dead after this additional grace (0 = declare immediately,
+  /// the legacy behaviour). While the congestion probe reports overload the
+  /// grace clock keeps restarting: a worker silenced by a saturated link is
+  /// indistinguishable from a dead one, and respawning it makes overload
+  /// worse, not better.
+  double suspect_grace_s = 0.0;
+  /// Minimum interval between respawn attempts of the same worker (0 = no
+  /// limit). Suppressed attempts count toward xt_respawns_suppressed_total
+  /// instead of burning the restart budget in one scan loop.
+  double respawn_min_interval_s = 0.0;
 };
 
 /// Owned by a workhorse thread: rate-limits kHeartbeat beacons toward the
@@ -57,13 +68,27 @@ class Supervisor {
   /// is already shutting down), which does not consume a restart.
   using RespawnFn = std::function<bool(std::uint32_t attempt)>;
 
+  /// Evidence that silence may be congestion, not death: any open link
+  /// breaker, or any comm queue / pipe backlog at its high watermark.
+  /// Consulted before declaring a suspect dead.
+  using CongestionProbe = std::function<bool()>;
+
   Supervisor(SupervisionConfig config, MetricsRegistry& metrics);
+
+  /// Install the congestion probe (called from the controller thread only,
+  /// like every other method here).
+  void set_congestion_probe(CongestionProbe probe);
 
   /// Start watching a worker; its liveness clock starts now.
   void watch(NodeId id, RespawnFn respawn);
 
-  /// Record a heartbeat (controller thread, on kHeartbeat receipt).
-  void note_heartbeat(const NodeId& id);
+  /// Record liveness evidence (controller thread, on any message receipt
+  /// from a watched worker). `produced_ns` is the message's creation
+  /// timestamp: liveness is keyed to when the worker last *produced*
+  /// traffic, not when the fabric got around to delivering it — a backlog
+  /// of stale messages draining after a crash must not counterfeit a live
+  /// worker. Pass 0 to fall back to receipt time.
+  void note_heartbeat(const NodeId& id, std::int64_t produced_ns = 0);
 
   /// Scan for stalled workers and respawn them. Call periodically from the
   /// controller loop.
@@ -81,6 +106,12 @@ class Supervisor {
   }
   /// Workers abandoned after exhausting their restart budget.
   [[nodiscard]] std::uint64_t degraded() const { return degraded_; }
+  /// Silence episodes that entered the suspect state.
+  [[nodiscard]] std::uint64_t suspects() const { return suspects_; }
+  /// Respawn attempts suppressed by the per-worker rate limit.
+  [[nodiscard]] std::uint64_t respawns_suppressed() const {
+    return respawns_suppressed_;
+  }
 
  private:
   struct Watched {
@@ -88,17 +119,28 @@ class Supervisor {
     std::int64_t last_beat_ns = 0;
     std::uint32_t restarts = 0;
     bool degraded = false;
+    /// When this silence episode entered the suspect state (0 = not
+    /// suspect). Slides forward while the congestion probe reports overload
+    /// so the grace clock only runs against a healthy fabric.
+    std::int64_t suspect_since_ns = 0;
+    std::int64_t last_respawn_ns = 0;
+    bool suppression_counted = false;  ///< once per suppressed episode
   };
 
   const SupervisionConfig config_;
-  Counter& missed_counter_;    ///< xt_heartbeats_missed_total
-  Counter& restarts_counter_;  ///< xt_worker_restarts_total
+  Counter& missed_counter_;      ///< xt_heartbeats_missed_total
+  Counter& restarts_counter_;    ///< xt_worker_restarts_total
+  Counter& suspected_counter_;   ///< xt_workers_suspected_total
+  Counter& suppressed_counter_;  ///< xt_respawns_suppressed_total
+  CongestionProbe congestion_probe_;
   std::unordered_map<NodeId, Watched> watched_;
   std::uint64_t restarts_ = 0;
   std::uint64_t explorer_restarts_ = 0;
   std::uint64_t learner_restarts_ = 0;
   std::uint64_t heartbeats_missed_ = 0;
   std::uint64_t degraded_ = 0;
+  std::uint64_t suspects_ = 0;
+  std::uint64_t respawns_suppressed_ = 0;
 };
 
 }  // namespace xt

@@ -62,6 +62,10 @@ PacedPipe* Fabric::make_pipe(Broker& from, Broker& to,
     obs.faults_delayed = fault_counter("delay");
     obs.faults_blackout = fault_counter("blackout");
   }
+  if (link.overload.bounded()) {
+    obs.frames_shed =
+        &from.metrics().counter("xt_frames_shed_total" + label);
+  }
   auto pipe = std::make_unique<PacedPipe>(name, link, obs);
   PacedPipe* raw = pipe.get();
   std::scoped_lock lock(mu_);
@@ -89,6 +93,11 @@ void Fabric::connect_one_way(Broker& from, Broker& to, const LinkConfig& link,
     inst.duplicates =
         &from.metrics().counter("xt_link_duplicate_frames_total" + label);
     inst.acks = &from.metrics().counter("xt_link_acks_total" + label);
+    inst.link_state = &from.metrics().gauge("xt_link_state" + label);
+    inst.breaker_opens =
+        &from.metrics().counter("xt_link_breaker_opens_total" + label);
+    inst.breaker_shed =
+        &from.metrics().counter("xt_link_breaker_shed_total" + label);
     auto channel = std::make_unique<ReliableChannel>(
         name, reliability_, *data_pipe, *target, inst);
     ReliableChannel* ch = channel.get();
@@ -104,9 +113,14 @@ void Fabric::connect_one_way(Broker& from, Broker& to, const LinkConfig& link,
             const std::vector<std::uint64_t>& seqs) {
           const std::size_t wire = ack_wire + ack_extra * (seqs.size() - 1);
           auto shared = std::make_shared<std::vector<std::uint64_t>>(seqs);
-          ack_pipe->send_faultable(wire, [ch, shared](const FaultOutcome& o) {
-            if (!o.corrupt) ch->on_acks(*shared);
-          });
+          // Acks are control: a bounded reverse pipe must never shed them
+          // behind bulk experience, or every loss becomes a retransmit storm.
+          ack_pipe->send_faultable(
+              wire,
+              [ch, shared](const FaultOutcome& o) {
+                if (!o.corrupt) ch->on_acks(*shared);
+              },
+              /*trace_id=*/0, TrafficClass::kControl);
         });
     frame_sender = [ch](WireFrame frame) { ch->send_frame(std::move(frame)); };
     std::scoped_lock lock(mu_);
@@ -125,6 +139,7 @@ void Fabric::connect_one_way(Broker& from, Broker& to, const LinkConfig& link,
       }
       const std::size_t wire = frame.wire_size();
       const std::uint64_t trace_id = frame.trace_id;
+      const TrafficClass cls = frame.tclass;
       auto shared = std::make_shared<WireFrame>(std::move(frame));
       raw->send_faultable(
           wire,
@@ -141,7 +156,7 @@ void Fabric::connect_one_way(Broker& from, Broker& to, const LinkConfig& link,
               target->deliver_remote(sub.header, sub.body);
             }
           },
-          trace_id);
+          trace_id, cls);
     };
   }
 

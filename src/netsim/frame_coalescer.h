@@ -33,13 +33,18 @@ struct CoalesceConfig {
   /// Flush deadline: a batched message waits at most this long (µs).
   std::int64_t flush_us = 1000;
 
-  /// Control-plane types under the size threshold ride coalesced frames;
-  /// everything else is sent as its own frame immediately.
+  /// Control-class messages and stats under the size threshold ride
+  /// coalesced frames; everything else is sent as its own frame immediately.
+  /// Stats are experience class (high-rate droppable telemetry, see
+  /// traffic_class_of) but they are exactly the small-body flood the
+  /// coalescer exists for. The batched frame's class is the minimum over its
+  /// sub-frames, so an all-stats frame stays sheddable on a bounded pipe
+  /// while any frame carrying a real control message never is.
   [[nodiscard]] bool eligible(const MessageHeader& header,
                               const Payload& body) const {
     if (!enabled) return false;
-    if (header.type != MsgType::kHeartbeat && header.type != MsgType::kStats &&
-        header.type != MsgType::kCommand) {
+    if (header.tclass != TrafficClass::kControl &&
+        header.type != MsgType::kStats) {
       return false;
     }
     return (body ? body->size() : 0) <= max_subframe_bytes;

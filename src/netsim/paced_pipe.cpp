@@ -12,7 +12,13 @@ PacedPipe::PacedPipe(std::string name, LinkConfig config)
     : PacedPipe(std::move(name), config, Observability{}) {}
 
 PacedPipe::PacedPipe(std::string name, LinkConfig config, Observability obs)
-    : name_(std::move(name)), config_(config), obs_(obs) {
+    : name_(std::move(name)),
+      config_(config),
+      obs_(obs),
+      queue_(config.overload, [this](TrafficClass /*cls*/, Frame&& /*frame*/) {
+        frames_shed_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_.frames_shed != nullptr) obs_.frames_shed->inc();
+      }) {
   if (config_.faults.enabled()) {
     injector_ = std::make_unique<FaultInjector>(config_.faults);
   }
@@ -38,8 +44,13 @@ bool PacedPipe::send(std::size_t wire_bytes, std::function<void()> deliver,
 }
 
 bool PacedPipe::send_faultable(std::size_t wire_bytes, FaultableDeliver deliver,
-                               std::uint64_t trace_id) {
-  return queue_.push(Frame{wire_bytes, std::move(deliver), trace_id});
+                               std::uint64_t trace_id, TrafficClass cls) {
+  // kShed still returns true: the frame was accepted by the link and then
+  // dropped by its overload policy — from the sender's perspective exactly
+  // like a frame lost downstream (a reliable channel recovers it the same
+  // way, through the missing ack).
+  return queue_.push(cls, Frame{wire_bytes, std::move(deliver), trace_id}) !=
+         PushResult::kClosed;
 }
 
 void PacedPipe::transmit_loop() {

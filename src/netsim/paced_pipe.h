@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/blocking_queue.h"
+#include "comm/overload.h"
 #include "netsim/fault_plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,6 +25,11 @@ struct LinkConfig {
   /// Chaos schedule for this link (disabled by default). When enabled the
   /// pipe drops/corrupts/delays frames per the seeded plan.
   FaultPlan faults;
+  /// Overload policy for the transmit queue (watermarks in frames). Default
+  /// = unbounded; when bounded, experience frames are shed at the high
+  /// watermark while control (heartbeats, acks, commands) always queues —
+  /// the priority lanes that keep supervision live past link capacity.
+  OverloadConfig overload;
 };
 
 /// One direction of a simulated NIC: frames are delivered in order, paced in
@@ -54,6 +60,7 @@ class PacedPipe {
     Counter* faults_corrupted = nullptr;
     Counter* faults_delayed = nullptr;
     Counter* faults_blackout = nullptr;
+    Counter* frames_shed = nullptr;  ///< experience shed at the high watermark
     std::uint32_t pid = 0;             ///< span process group (source machine)
   };
 
@@ -74,9 +81,14 @@ class PacedPipe {
 
   /// Fault-aware send: `deliver` receives the injected-fault outcome so the
   /// consumer can apply corruption. Dropped frames are still never
-  /// delivered.
+  /// delivered. `cls` picks the priority lane: control frames jump the
+  /// queue and are never shed; with a bounded overload config, experience
+  /// frames past the high watermark are shed (deliver never runs) — this
+  /// call never blocks the caller, which may be a router or retransmit
+  /// thread that must not stall on a congested link.
   bool send_faultable(std::size_t wire_bytes, FaultableDeliver deliver,
-                      std::uint64_t trace_id = 0);
+                      std::uint64_t trace_id = 0,
+                      TrafficClass cls = TrafficClass::kExperience);
 
   /// Drain and stop the transmit thread (idempotent).
   void stop();
@@ -91,6 +103,9 @@ class PacedPipe {
   }
   [[nodiscard]] std::uint64_t frames_dropped() const {
     return frames_dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_shed() const {
+    return frames_shed_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t queued_frames() const { return queue_.size(); }
 
@@ -107,10 +122,11 @@ class PacedPipe {
   const LinkConfig config_;
   const Observability obs_;
   std::unique_ptr<FaultInjector> injector_;  ///< transmit thread only
-  BlockingQueue<Frame> queue_;
+  ClassedQueue<Frame> queue_;
   std::atomic<std::uint64_t> bytes_transferred_{0};
   std::atomic<std::uint64_t> frames_transferred_{0};
   std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> frames_shed_{0};
   std::thread transmitter_;
 };
 

@@ -19,6 +19,15 @@ std::int64_t ms_to_ns(double ms) {
 
 }  // namespace
 
+const char* link_state_name(LinkState state) {
+  switch (state) {
+    case LinkState::kClosed: return "closed";
+    case LinkState::kOpen: return "open";
+    case LinkState::kHalfOpen: return "half_open";
+  }
+  return "closed";
+}
+
 ReliableChannel::ReliableChannel(std::string name, ReliabilityConfig config,
                                  PacedPipe& data_pipe, Broker& receiver,
                                  Instruments inst)
@@ -62,6 +71,71 @@ std::size_t ReliableChannel::pending() const {
   return pending_.size();
 }
 
+LinkState ReliableChannel::state() const {
+  std::scoped_lock lock(mu_);
+  return state_;
+}
+
+void ReliableChannel::set_state_locked(LinkState state) {
+  state_ = state;
+  if (inst_.link_state != nullptr) {
+    inst_.link_state->set(static_cast<double>(state));
+  }
+}
+
+bool ReliableChannel::breaker_admit_locked(const WireFrame& frame,
+                                           std::int64_t now) {
+  if (config_.breaker_failures == 0 || state_ == LinkState::kClosed) {
+    return true;
+  }
+  // Control always flows: heartbeats and acks are the cheapest possible
+  // probes, and shedding them would blind the supervisor exactly when it
+  // needs link-state evidence.
+  if (frame.tclass == TrafficClass::kControl) return true;
+  if (state_ == LinkState::kOpen && now >= probe_deadline_ns_) {
+    set_state_locked(LinkState::kHalfOpen);
+    probe_in_flight_ = false;
+  }
+  if (state_ == LinkState::kHalfOpen && !probe_in_flight_) {
+    probe_in_flight_ = true;  // admit exactly one frame to test the link
+    return true;
+  }
+  if (inst_.breaker_shed != nullptr) inst_.breaker_shed->inc();
+  return false;
+}
+
+void ReliableChannel::note_give_up_locked(std::int64_t now) {
+  if (config_.breaker_failures == 0) return;
+  ++consecutive_give_ups_;
+  const bool probe_failed = state_ == LinkState::kHalfOpen;
+  if (!probe_failed && (state_ == LinkState::kOpen ||
+                        consecutive_give_ups_ < config_.breaker_failures)) {
+    return;
+  }
+  // Trip (or re-trip after a failed probe): shed pending non-control frames
+  // so the retransmit queue stops growing against a dead link; control
+  // frames stay pending — they are the probes that will close the breaker.
+  set_state_locked(LinkState::kOpen);
+  probe_deadline_ns_ = now + ms_to_ns(config_.breaker_probe_ms);
+  probe_in_flight_ = false;
+  if (inst_.breaker_opens != nullptr) inst_.breaker_opens->inc();
+  std::size_t shed = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.frame.tclass == TrafficClass::kControl) {
+      ++it;
+      continue;
+    }
+    ++shed;
+    it = pending_.erase(it);
+  }
+  if (inst_.breaker_shed != nullptr && shed > 0) {
+    inst_.breaker_shed->inc(shed);
+  }
+  XT_LOG_WARN << "link " << name_ << ": circuit breaker open after "
+              << consecutive_give_ups_ << " consecutive give-up(s), shed "
+              << shed << " pending frame(s)";
+}
+
 void ReliableChannel::send(MessageHeader header, Payload body) {
   send_frame(encode_wire_frame({WireSubFrame{header, std::move(body)}},
                                /*with_crc=*/false));
@@ -76,6 +150,7 @@ void ReliableChannel::send_frame(WireFrame frame) {
   {
     std::scoped_lock lock(mu_);
     if (stopping_) return;
+    if (!breaker_admit_locked(frame, now_ns())) return;
     seq = next_seq_++;
     frame.link_seq = seq;
     Pending entry;
@@ -94,7 +169,7 @@ void ReliableChannel::transmit(std::uint64_t seq, const WireFrame& frame) {
       [this, seq, frame](const FaultOutcome& outcome) {
         deliver(seq, frame, outcome);
       },
-      frame.trace_id);
+      frame.trace_id, frame.tclass);
 }
 
 void ReliableChannel::deliver(std::uint64_t seq, const WireFrame& frame,
@@ -162,11 +237,25 @@ void ReliableChannel::send_acks(const std::vector<std::uint64_t>& seqs) {
 
 void ReliableChannel::on_acks(const std::vector<std::uint64_t>& seqs) {
   bool erased = false;
+  bool reopened = false;
   {
     std::scoped_lock lock(mu_);
     for (const std::uint64_t seq : seqs) {
       erased = (pending_.erase(seq) != 0) || erased;
     }
+    if (!seqs.empty() && config_.breaker_failures != 0) {
+      // Any ack proves the link carries traffic end to end again: reset the
+      // failure streak and close the breaker.
+      consecutive_give_ups_ = 0;
+      if (state_ != LinkState::kClosed) {
+        set_state_locked(LinkState::kClosed);
+        probe_in_flight_ = false;
+        reopened = true;
+      }
+    }
+  }
+  if (reopened) {
+    XT_LOG_INFO << "link " << name_ << ": circuit breaker closed (ack)";
   }
   if (erased) cv_.notify_one();
 }
@@ -201,6 +290,11 @@ void ReliableChannel::retransmit_loop() {
         if (inst_.give_ups != nullptr) inst_.give_ups->inc();
         ++abandoned;
         it = pending_.erase(it);
+        // May trip the breaker, which erases pending non-control entries —
+        // restart the scan rather than hold a possibly-invalidated iterator.
+        const std::size_t before = pending_.size();
+        note_give_up_locked(now);
+        if (pending_.size() != before) it = pending_.begin();
         continue;
       }
       ++entry.retries;

@@ -37,7 +37,26 @@ struct ReliabilityConfig {
   std::int64_t ack_flush_us = 5'000;
   /// Modeled wire cost of each additional ack in a batched ack frame.
   std::size_t ack_extra_seq_bytes = 8;
+  /// Circuit breaker: this many *consecutive* retransmit give-ups open the
+  /// link (0 = disabled, the historical retransmit-forever behaviour).
+  /// An open link sheds non-control traffic instead of feeding a dead pipe;
+  /// control frames keep flowing as natural probes, and the first ack from
+  /// the far side closes the breaker.
+  std::uint32_t breaker_failures = 0;
+  /// How long an open breaker waits before re-admitting one non-control
+  /// frame as a half-open probe.
+  double breaker_probe_ms = 250.0;
 };
+
+/// Circuit-breaker state of one link direction, exported as
+/// `xt_link_state{link=...}` (the gauge holds the enum value).
+enum class LinkState : std::uint8_t {
+  kClosed = 0,    ///< healthy: all traffic flows
+  kOpen = 1,      ///< tripped: non-control traffic is shed
+  kHalfOpen = 2,  ///< probing: one non-control frame in flight
+};
+
+[[nodiscard]] const char* link_state_name(LinkState state);
 
 /// One direction of a reliable cross-machine link, layered on a lossy
 /// PacedPipe. The unit of the protocol is the *wire frame* (possibly many
@@ -67,6 +86,9 @@ class ReliableChannel {
     Counter* give_ups = nullptr;
     Counter* duplicates = nullptr;   ///< retransmitted frames already seen
     Counter* acks = nullptr;
+    Gauge* link_state = nullptr;     ///< xt_link_state{link=...} (LinkState)
+    Counter* breaker_opens = nullptr;   ///< closed/half-open -> open edges
+    Counter* breaker_shed = nullptr;    ///< frames shed by an open breaker
   };
 
   ReliableChannel(std::string name, ReliabilityConfig config,
@@ -105,6 +127,14 @@ class ReliableChannel {
   }
   [[nodiscard]] std::size_t pending() const;
 
+  /// Breaker state of this direction (kClosed when the breaker is disabled).
+  [[nodiscard]] LinkState state() const;
+  [[nodiscard]] std::uint64_t breaker_opens() const {
+    return inst_.breaker_opens != nullptr
+               ? static_cast<std::uint64_t>(inst_.breaker_opens->value())
+               : 0;
+  }
+
  private:
   struct Pending {
     WireFrame frame;
@@ -114,6 +144,14 @@ class ReliableChannel {
   };
 
   void transmit(std::uint64_t seq, const WireFrame& frame);
+  /// Breaker admission for one outgoing frame (mu_ held). Returns false when
+  /// the frame must be shed (open breaker, non-control).
+  [[nodiscard]] bool breaker_admit_locked(const WireFrame& frame,
+                                          std::int64_t now);
+  void set_state_locked(LinkState state);
+  /// One give-up observed (mu_ held): trips the breaker after
+  /// breaker_failures consecutive ones, dropping pending non-control frames.
+  void note_give_up_locked(std::int64_t now);
   /// Runs on the data pipe's transmit thread when a frame survives the wire.
   void deliver(std::uint64_t seq, const WireFrame& frame,
                const FaultOutcome& outcome);
@@ -134,6 +172,13 @@ class ReliableChannel {
   std::map<std::uint64_t, Pending> pending_;  ///< ordered: oldest seq first
   std::uint64_t next_seq_ = 1;
   bool stopping_ = false;
+
+  // Circuit breaker (mu_): consecutive give-ups trip it open; an ack closes
+  // it; a timed half-open window admits one non-control probe.
+  LinkState state_ = LinkState::kClosed;
+  std::uint32_t consecutive_give_ups_ = 0;
+  std::int64_t probe_deadline_ns_ = 0;
+  bool probe_in_flight_ = false;
 
   // Receiver-side state: dedup (everything <= floor was delivered, plus the
   // out-of-order set above it) and the batched-ack buffer.

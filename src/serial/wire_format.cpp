@@ -10,7 +10,8 @@ namespace {
 
 /// Control-segment layout version; bumped whenever the encoding changes so a
 /// mixed-version simulation fails loudly instead of misparsing.
-constexpr std::uint8_t kWireFormatVersion = 1;
+/// v2: per-sub-frame traffic-class byte (overload arbitration, DESIGN.md §10).
+constexpr std::uint8_t kWireFormatVersion = 2;
 
 void encode_node(BinWriter& writer, const NodeId& id) {
   writer.u16(id.machine);
@@ -43,6 +44,8 @@ WireFrame encode_wire_frame(std::vector<WireSubFrame> subframes,
     writer.u32(static_cast<std::uint32_t>(header.dsts.size()));
     for (const NodeId& dst : header.dsts) encode_node(writer, dst);
     writer.u8(static_cast<std::uint8_t>(header.type));
+    writer.u8(static_cast<std::uint8_t>(header.tclass));
+    if (header.tclass < frame.tclass) frame.tclass = header.tclass;
     writer.boolean(header.compressed);
     writer.u64(sub.body ? sub.body->size() : 0);
     writer.u64(header.uncompressed_size);
@@ -105,6 +108,9 @@ std::optional<std::vector<WireSubFrame>> decode_wire_frame(
       return std::nullopt;
     }
     header.type = static_cast<MsgType>(*type);
+    const auto tclass = reader.u8();
+    if (!tclass || *tclass >= kTrafficClassCount) return std::nullopt;
+    header.tclass = static_cast<TrafficClass>(*tclass);
     const auto compressed = reader.boolean();
     const auto body_size = reader.u64();
     const auto uncompressed = reader.u64();

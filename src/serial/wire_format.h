@@ -34,6 +34,10 @@ struct WireFrame {
   bool crc_present = false;
   std::uint64_t link_seq = 0;   ///< reliable-link frame sequence (0 = none)
   std::uint64_t trace_id = 0;   ///< first sub-frame's trace id (0 = untraced)
+  /// Highest-priority sub-frame class (lowest enum value): what the paced
+  /// pipe and circuit breaker arbitrate on. A frame carrying one heartbeat
+  /// among rollouts is control — shedding it would starve supervision.
+  TrafficClass tclass = TrafficClass::kExperience;
 
   [[nodiscard]] std::size_t subframes() const { return bodies.size(); }
 

@@ -145,6 +145,81 @@ TEST(BlockingQueue, CloseWakesBlockedBoundedProducer) {
   producer.join();
 }
 
+TEST(BlockingQueue, PushForTimesOutWhenFull) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.push_for(2, std::chrono::milliseconds(20)));
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, std::chrono::milliseconds(15));
+  // The staged element is untouched by the failed timed push.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, PushForSucceedsWhenSpaceFreesDuringWait) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(q.pop().value(), 1);
+  });
+  EXPECT_TRUE(q.push_for(2, std::chrono::seconds(5)));
+  consumer.join();
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BlockingQueue, PushForOnUnboundedQueueNeverWaits) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.push_for(1, std::chrono::milliseconds(0)));
+  EXPECT_EQ(q.pop().value(), 1);
+}
+
+TEST(BlockingQueue, PushForFailsFastOnClosedQueue) {
+  BlockingQueue<int> q(1);
+  q.close();
+  EXPECT_FALSE(q.push_for(1, std::chrono::seconds(5)));
+}
+
+TEST(BlockingQueue, CloseWhileFullWakesTimedProducer) {
+  // A producer parked in push_for on a full queue must wake on close()
+  // well before its timeout and report failure — the value is not lost
+  // silently into a dead queue.
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(q.push_for(2, std::chrono::seconds(30)));
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(done.load());
+  q.close();
+  producer.join();
+  EXPECT_TRUE(done.load());
+  // The element staged before close still drains.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, TryPushWakesBlockedConsumer) {
+  // try_push must notify waiting consumers just like push: a consumer
+  // parked in pop() has to see the element promptly, not on the next
+  // unrelated wakeup.
+  BlockingQueue<int> q(4);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(q.try_push(9));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
 TEST(BlockingQueue, MoveOnlyTypesPassThrough) {
   BlockingQueue<std::unique_ptr<int>> q;
   q.push(std::make_unique<int>(7));

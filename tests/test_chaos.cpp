@@ -180,6 +180,74 @@ TEST(ChaosRun, SurvivesFaultyLinkAndWorkerDeaths) {
   std::remove(deployment.checkpoint_path.c_str());
 }
 
+// --- Overload + blackout: shed experience, keep weights, no false kills -----
+
+// Drives the cross-machine link well past capacity with bounded comm queues,
+// then blacks the link out for longer than the heartbeat timeout. The
+// overload model must (a) shed experience instead of deadlocking or growing
+// queues without bound, (b) keep delivering weights-class traffic to the
+// explorers, and (c) let the supervisor ride out the silence as *suspect*
+// (congestion-aware grace) without a single false-positive respawn — no
+// worker dies in this test, so any restart is a supervision bug.
+TEST(ChaosRun, OverloadAndBlackoutShedExperienceWithoutFalseRespawns) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.env_name = "CartPole";
+  setup.seed = 7;
+  setup.impala.hidden = {16};
+  setup.impala.fragment_len = 50;
+
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {0, 2};  // all rollouts cross the wire
+  deployment.learner_machine = 0;
+  deployment.max_steps_consumed = 1'500;
+  deployment.max_seconds = 45.0;
+
+  // A deliberately narrow pipe: two CartPole explorers produce far more
+  // experience than 500 KB/s at 5k frames/s can carry.
+  deployment.link = LinkConfig{5e5, 200'000, 64};
+  // One blackout window longer than the heartbeat timeout: every frame in
+  // [0.3s, 1.1s) is dropped on the wire.
+  deployment.link.faults.seed = 13;
+  deployment.link.faults.blackout_start_s = 0.3;
+  deployment.link.faults.blackout_duration_s = 0.8;
+
+  deployment.reliability.enabled = true;
+  deployment.reliability.rto_ms = 20.0;
+
+  // Bounded comm queues: this is what turns sustained overproduction into
+  // bounded memory + shedding instead of an ever-growing backlog.
+  deployment.overload.high_watermark = 32;
+  deployment.overload.low_watermark = 8;
+  deployment.overload.shed_policy = ShedPolicy::kOldest;
+
+  deployment.supervision.enabled = true;
+  deployment.supervision.heartbeat_every_s = 0.1;
+  deployment.supervision.heartbeat_timeout_s = 0.5;
+  deployment.supervision.max_restarts_per_worker = 3;
+  // Silence past the timeout makes a worker suspect; the grace (restarted
+  // while the congestion probe reports overload) is what prevents the
+  // blackout from being misread as death.
+  deployment.supervision.suspect_grace_s = 1.0;
+  deployment.supervision.respawn_min_interval_s = 1.0;
+
+  XingTianRuntime runtime(setup, deployment);
+  const RunReport report = runtime.run();
+
+  // (a) The run completed: overload shed experience rather than deadlocking.
+  EXPECT_GE(report.steps_consumed, 1'500u);
+  EXPECT_GT(report.messages_shed + report.frames_shed, 0u);
+  // (b) Weights-class traffic still landed at the explorers.
+  EXPECT_GT(report.weight_broadcasts, 0u);
+  EXPECT_GT(report.weights_applied, 0u);
+  // (c) The blackout made workers suspect, but nobody was respawned: the
+  // supervisor rode out congestion-induced silence without false positives.
+  EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_GE(report.workers_suspected, 1u);
+  EXPECT_EQ(report.worker_restarts, 0u);
+  EXPECT_EQ(report.degraded_workers, 0u);
+}
+
 // Without supervision a dead explorer stays dead — the run still finishes
 // (the surviving explorer feeds the learner) but nothing is restarted.
 TEST(ChaosRun, NoSupervisionMeansNoRestarts) {

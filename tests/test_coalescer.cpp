@@ -28,6 +28,7 @@ MessageHeader control_header(MsgType type, std::uint16_t src_machine,
   header.src = explorer_id(src_machine, 0);
   header.dsts = {dst};
   header.type = type;
+  header.tclass = traffic_class_of(type);
   header.body_size = body ? body->size() : 0;
   header.created_ns = 123;
   header.tag = tag;

@@ -306,6 +306,113 @@ TEST(ConfigFile, CommSectionDefaultsOffAndSingleShard) {
   EXPECT_FALSE(config->deployment.coalesce.enabled);
 }
 
+TEST(ConfigFile, CommOverloadSection) {
+  const std::string text = R"(
+[comm]
+overload_high_watermark = 4096
+overload_low_watermark = 1024
+shed_policy = newest
+weights_block_ms = 250
+breaker_failures = 5
+breaker_probe_ms = 500
+)";
+  std::string error;
+  const auto config = parse_launch_config(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  const OverloadConfig& overload = config->deployment.overload;
+  EXPECT_TRUE(overload.bounded());
+  EXPECT_EQ(overload.high_watermark, 4096u);
+  EXPECT_EQ(overload.low_watermark, 1024u);
+  EXPECT_EQ(overload.shed_policy, ShedPolicy::kNewest);
+  EXPECT_EQ(overload.weights_block_ms, 250u);
+  EXPECT_EQ(overload.breaker_failures, 5u);
+  EXPECT_EQ(overload.breaker_probe_ms, 500u);
+}
+
+TEST(ConfigFile, CommOverloadDefaultsToUnbounded) {
+  const auto config = parse_launch_config("");
+  ASSERT_TRUE(config.has_value());
+  // The master switch stays off: zero watermark = legacy unbounded queues.
+  EXPECT_FALSE(config->deployment.overload.bounded());
+  EXPECT_EQ(config->deployment.overload.shed_policy, ShedPolicy::kOldest);
+}
+
+TEST(ConfigFile, CommOverloadRejectsOutOfRangeValues) {
+  // Out-of-range values are hard errors with the accepted range in the
+  // message — never silently clamped.
+  std::string error;
+  EXPECT_FALSE(parse_launch_config(
+      "[comm]\noverload_high_watermark = -1\n", &error));
+  EXPECT_NE(error.find("bad overload_high_watermark"), std::string::npos);
+  EXPECT_NE(error.find("0..100000000"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config(
+      "[comm]\noverload_high_watermark = 100000001\n", &error));
+  EXPECT_NE(error.find("bad overload_high_watermark"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config(
+      "[comm]\noverload_high_watermark = lots\n"));
+  EXPECT_FALSE(parse_launch_config(
+      "[comm]\noverload_high_watermark = 64\n"
+      "overload_low_watermark = 200000000\n", &error));
+  EXPECT_NE(error.find("bad overload_low_watermark"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[comm]\nshed_policy = random\n", &error));
+  EXPECT_NE(error.find("bad shed_policy 'random'"), std::string::npos);
+  EXPECT_NE(error.find("oldest or newest"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[comm]\nweights_block_ms = -1\n", &error));
+  EXPECT_NE(error.find("bad weights_block_ms"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[comm]\nweights_block_ms = 60001\n"));
+  EXPECT_FALSE(parse_launch_config("[comm]\nbreaker_failures = 1025\n", &error));
+  EXPECT_NE(error.find("bad breaker_failures"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[comm]\nbreaker_probe_ms = 0\n", &error));
+  EXPECT_NE(error.find("bad breaker_probe_ms"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[comm]\nbreaker_probe_ms = 60001\n"));
+}
+
+TEST(ConfigFile, CommOverloadRejectsInconsistentWatermarks) {
+  // Cross-field validation: a low watermark makes no sense without a high
+  // one, and hysteresis requires low strictly below high.
+  std::string error;
+  EXPECT_FALSE(parse_launch_config(
+      "[comm]\noverload_low_watermark = 8\n", &error));
+  EXPECT_NE(error.find("overload_low_watermark requires overload_high_watermark"),
+            std::string::npos);
+  EXPECT_FALSE(parse_launch_config(
+      "[comm]\noverload_high_watermark = 64\noverload_low_watermark = 64\n",
+      &error));
+  EXPECT_NE(error.find("must be below overload_high_watermark"),
+            std::string::npos);
+  EXPECT_FALSE(parse_launch_config(
+      "[comm]\noverload_high_watermark = 64\noverload_low_watermark = 65\n"));
+  // Equal-to-zero low with a bounded high is fine (resolves to high/2).
+  const auto ok = parse_launch_config("[comm]\noverload_high_watermark = 64\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->deployment.overload.resolved_low(), 32u);
+}
+
+TEST(ConfigFile, FaultsSupervisionOverloadKnobs) {
+  const std::string text = R"(
+[faults]
+supervision = on
+suspect_grace_s = 1.5
+respawn_min_interval_s = 2.0
+)";
+  std::string error;
+  const auto config = parse_launch_config(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_DOUBLE_EQ(config->deployment.supervision.suspect_grace_s, 1.5);
+  EXPECT_DOUBLE_EQ(config->deployment.supervision.respawn_min_interval_s, 2.0);
+  // Defaults preserve the legacy declare-immediately behaviour.
+  const auto defaults = parse_launch_config("");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_DOUBLE_EQ(defaults->deployment.supervision.suspect_grace_s, 0.0);
+  EXPECT_DOUBLE_EQ(defaults->deployment.supervision.respawn_min_interval_s, 0.0);
+
+  EXPECT_FALSE(parse_launch_config("[faults]\nsuspect_grace_s = -1\n", &error));
+  EXPECT_NE(error.find("bad suspect_grace_s"), std::string::npos);
+  EXPECT_FALSE(
+      parse_launch_config("[faults]\nrespawn_min_interval_s = -0.5\n", &error));
+  EXPECT_NE(error.find("bad respawn_min_interval_s"), std::string::npos);
+}
+
 TEST(ConfigFile, CommSectionRejectsBadValues) {
   std::string error;
   EXPECT_FALSE(
