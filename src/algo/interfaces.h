@@ -50,6 +50,14 @@ class Algorithm {
   /// How often (in training sessions) the learner broadcasts weights.
   [[nodiscard]] virtual int broadcast_interval() const { return 1; }
 
+  /// True when this algorithm's explorers block until every new weights
+  /// version arrives (on-policy agents whose requires_fresh_weights() is
+  /// true, e.g. PPO). The learner must then bypass lazy-broadcast skipping:
+  /// a skipped version would deadlock the pipeline — explorers wait for a
+  /// version the learner decided not to ship, while the learner waits for
+  /// their rollouts.
+  [[nodiscard]] virtual bool explorers_block_on_weights() const { return false; }
+
   /// Replace the policy parameters with a serialized snapshot (PBT clones
   /// the best population's DNN weights into a fresh population, paper
   /// Section 4.3; also the restore path for checkpoint-based fault

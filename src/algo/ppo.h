@@ -73,6 +73,9 @@ class PpoAlgorithm final : public Algorithm {
   [[nodiscard]] Bytes weights() const override;
   [[nodiscard]] std::uint32_t weights_version() const override { return version_; }
   bool load_policy_weights(const Bytes& snapshot) override;
+  /// PPO explorers block in ship_batch until the next version lands, so the
+  /// learner must never lazily skip a broadcast (see Algorithm docs).
+  [[nodiscard]] bool explorers_block_on_weights() const override { return true; }
 
   [[nodiscard]] std::size_t queued_fragments() const { return fragments_.size(); }
   [[nodiscard]] std::uint64_t stale_fragments_dropped() const { return stale_dropped_; }

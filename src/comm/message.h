@@ -20,6 +20,8 @@ enum class MsgType : std::uint8_t {
   kCommand = 3,   ///< controller -> any: lifecycle control
   kDummy = 4,     ///< the dummy DRL algorithm of Section 5.1
   kHeartbeat = 5, ///< worker -> controller: liveness beacon (empty body)
+  kWeightsAck = 6, ///< explorer -> learner: applied weights version (empty body)
+  kWeightsReq = 7, ///< explorer -> learner: keyframe request after a decode miss
 };
 
 /// Traffic classes for overload arbitration (DESIGN.md §10). Ordering is the
@@ -53,6 +55,8 @@ inline constexpr std::uint8_t kTrafficClassCount = 3;
       return TrafficClass::kExperience;
     case MsgType::kCommand:
     case MsgType::kHeartbeat:
+    case MsgType::kWeightsAck:
+    case MsgType::kWeightsReq:
       return TrafficClass::kControl;
   }
   return TrafficClass::kExperience;
@@ -87,6 +91,14 @@ struct MessageHeader {
   /// Overload arbitration lane (see TrafficClass). Stamped by make_outbound
   /// from the message type and carried on the wire per sub-frame.
   TrafficClass tclass = TrafficClass::kExperience;
+
+  /// Weight-frame metadata (DESIGN.md §11), meaningful only for kWeights.
+  /// `codec_id` is the WeightCodec the body was encoded with and `base_tag`
+  /// the version a delta/top-k frame builds on (0 = standalone keyframe).
+  /// Carried in the header so endpoints can triage a frame — stale? base
+  /// missing? — without fetching or parsing the body.
+  std::uint8_t codec_id = 0;
+  std::uint32_t base_tag = 0;
 
   /// Wire integrity: CRC-32 of the body, stamped by the sending fabric when
   /// the link has fault injection enabled (or reliability on) and verified

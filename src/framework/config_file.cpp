@@ -518,6 +518,54 @@ bool apply_profile_key(LaunchConfig& config, const std::string& key,
   return fail(error, line, "unknown [profile] key '" + key + "'");
 }
 
+bool apply_codec_key(LaunchConfig& config, const std::string& key,
+                     const std::string& value, int line, std::string* error) {
+  WeightSyncConfig& codec = config.deployment.weight_sync;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  if (key == "weights") {
+    const auto parsed = parse_weight_codec(value);
+    if (!parsed) {
+      return fail(error, line,
+                  "bad weights codec '" + value +
+                      "' (want fp32, fp16, bf16, int8, delta, or topk)");
+    }
+    codec.codec = *parsed;
+    return true;
+  }
+  if (key == "topk_fraction") {
+    if (!parse_double(value, &d) || d <= 0.0 || d > 0.5) {
+      return fail(error, line, "bad topk_fraction (want >0 and <=0.5)");
+    }
+    codec.topk_fraction = d;
+    return true;
+  }
+  if (key == "keyframe_every") {
+    if (!parse_u64(value, &u) || u == 0 || u > 100'000) {
+      return fail(error, line, "bad keyframe_every (want 1..100000)");
+    }
+    codec.keyframe_every = static_cast<std::uint32_t>(u);
+    return true;
+  }
+  if (key == "lazy_threshold") {
+    if (!parse_double(value, &d) || d < 0.0 || d >= 1.0) {
+      return fail(error, line,
+                  "bad lazy_threshold (want 0..1 exclusive of 1; 0 disables"
+                  " lazy broadcast)");
+    }
+    codec.lazy_threshold = d;
+    return true;
+  }
+  if (key == "max_staleness") {
+    if (!parse_u64(value, &u) || u == 0 || u > 100'000) {
+      return fail(error, line, "bad max_staleness (want 1..100000)");
+    }
+    codec.max_staleness = static_cast<std::uint32_t>(u);
+    return true;
+  }
+  return fail(error, line, "unknown [codec] key '" + key + "'");
+}
+
 bool apply_compute_key(LaunchConfig& config, const std::string& key,
                        const std::string& value, int line, std::string* error) {
   if (key == "threads") {
@@ -561,7 +609,7 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       section = text.substr(1, text.size() - 2);
       if (section != "algorithm" && section != "deployment" &&
           section != "faults" && section != "compute" &&
-          section != "profile" && section != "comm") {
+          section != "profile" && section != "comm" && section != "codec") {
         fail(error, line, "unknown section [" + section + "]");
         return std::nullopt;
       }
@@ -590,6 +638,8 @@ std::optional<LaunchConfig> parse_launch_config(const std::string& contents,
       ok = apply_profile_key(config, key, value, line, error);
     } else if (section == "comm") {
       ok = apply_comm_key(config, key, value, line, error);
+    } else if (section == "codec") {
+      ok = apply_codec_key(config, key, value, line, error);
     } else {
       ok = apply_faults_key(config, key, value, line, error);
     }

@@ -60,6 +60,14 @@ namespace xt {
 /// breaker_failures = 3            # link breaker trip threshold (0 = off)
 /// breaker_probe_ms = 250          # half-open probe interval
 ///
+/// [codec]                         # weight broadcast codec (DESIGN.md §11)
+/// weights = fp32                  # fp32 | fp16 | bf16 | int8 | delta | topk
+/// topk_fraction = 0.01            # entries a topk frame carries (>0, <=0.5)
+/// keyframe_every = 16             # Nth delta/topk publish is a keyframe (1..100000)
+/// lazy_threshold = 0              # skip publishes below this relative update
+///                                 # norm (0..1, 0 = off; forced off for PPO)
+/// max_staleness = 8               # max consecutive lazy skips (1..100000)
+///
 /// [faults]                        # chaos fabric + self-healing (all optional)
 /// seed = 11                       # deterministic fault schedule
 /// drop_prob = 0.01                # per-frame drop probability

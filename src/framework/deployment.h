@@ -6,6 +6,7 @@
 
 #include "comm/broker.h"
 #include "common/stats.h"
+#include "compress/weight_codec.h"
 #include "framework/supervisor.h"
 #include "netsim/frame_coalescer.h"
 #include "netsim/paced_pipe.h"
@@ -70,6 +71,10 @@ struct DeploymentConfig {
   /// When bounded, the runtime applies it to broker queues, endpoint
   /// buffers, paced pipes, and the reliable links' circuit breakers.
   OverloadConfig overload;
+  /// `[codec]` weight-broadcast codec + lazy-broadcast policy (DESIGN.md
+  /// §11). Applied to the learner's publish path and every explorer's
+  /// apply path.
+  WeightSyncConfig weight_sync;
 
   /// If non-empty, the learner checkpoints its weights here (atomic write)
   /// and a learner respawn restores from the latest good checkpoint.
@@ -150,6 +155,18 @@ struct RunReport {
   /// Weight updates actually applied by explorers — the proof that
   /// weights-class traffic still lands when experience is being shed.
   std::uint64_t weights_applied = 0;
+
+  // Weight-codec layer (DESIGN.md §11; all zero pre-codec behavior when
+  // `[codec]` is left at fp32 with lazy broadcast off).
+  std::uint64_t weights_wire_bytes = 0;  ///< encoded weight-frame bytes published
+  std::uint64_t weights_raw_bytes = 0;   ///< fp32-equivalent bytes per encode attempt
+  std::uint64_t weights_skipped = 0;     ///< versions lazily not broadcast
+  std::uint64_t weights_keyframes = 0;   ///< standalone frames published
+  std::uint64_t weights_keyframe_requests = 0;  ///< explorer fallback requests served
+  std::uint64_t weights_decode_failures = 0;    ///< corrupt frames rejected
+  /// p99 of learner publish -> explorer apply (xt_weights_broadcast_ms,
+  /// merged across every explorer's histogram).
+  double weights_broadcast_p99_ms = 0.0;
 
   // Robustness (chaos fabric + supervision; all zero in a healthy run).
   std::uint64_t faults_injected = 0;    ///< drops+corruptions+delays+blackouts

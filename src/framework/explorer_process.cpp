@@ -32,7 +32,17 @@ ExplorerProcess::ExplorerProcess(NodeId node, std::uint32_t explorer_index,
           "xt_explorer_batches_total{machine=\"" + std::to_string(node.machine) + "\"}")),
       weights_applied_counter_(broker.metrics().counter(
           "xt_weights_applied_total{machine=\"" + std::to_string(node.machine) + "\"}")),
+      weights_nack_counter_(broker.metrics().counter(
+          "xt_weights_nacks_total{machine=\"" + std::to_string(node.machine) + "\"}")),
+      broadcast_ms_hist_(broker.metrics().histogram(
+          "xt_weights_broadcast_ms{machine=\"" + std::to_string(node.machine) + "\"}")),
       metrics_(broker.metrics()) {
+  codec_instruments_.decode_ms = &metrics_.histogram(
+      "xt_weights_decode_ms{machine=\"" + std::to_string(node.machine) + "\"}");
+  codec_instruments_.decode_failures = &metrics_.counter(
+      "xt_weights_decode_failures_total{machine=\"" + std::to_string(node.machine) +
+      "\"}");
+  send_weight_acks_ = weight_codec_uses_base(config.weight_sync.codec);
   if (config.supervision.enabled) {
     heartbeat_ = std::make_unique<Heartbeater>(
         endpoint_, node_, controller_, config.supervision.heartbeat_every_s);
@@ -64,9 +74,7 @@ void ExplorerProcess::drain_inbox() {
   while (auto msg = endpoint_.try_receive()) {
     switch (msg->header.type) {
       case MsgType::kWeights:
-        if (agent_->apply_weights(*msg->body, msg->header.tag)) {
-          weights_applied_counter_.inc();
-        }
+        handle_weights(*msg);
         break;
       case MsgType::kCommand:
         stop_.store(true);
@@ -75,6 +83,41 @@ void ExplorerProcess::drain_inbox() {
         break;
     }
   }
+}
+
+void ExplorerProcess::handle_weights(const Message& msg) {
+  const auto result = decoder_.apply(msg.body, msg.header.tag);
+  switch (result.outcome) {
+    case WeightDecoderSession::Outcome::kApplied:
+      if (agent_->apply_weights(*result.fp32, result.version)) {
+        weights_applied_counter_.inc();
+        if (msg.header.created_ns > 0) {
+          broadcast_ms_hist_.observe(ns_to_ms(now_ns() - msg.header.created_ns));
+        }
+        if (send_weight_acks_) {
+          (void)endpoint_.send(make_outbound(node_, {learner_}, MsgType::kWeightsAck,
+                                             empty_payload(), result.version));
+        }
+      }
+      break;
+    case WeightDecoderSession::Outcome::kStale:
+      break;  // an older broadcast overtaken in flight; drop silently
+    case WeightDecoderSession::Outcome::kNeedKeyframe:
+    case WeightDecoderSession::Outcome::kCorrupt:
+      request_keyframe(result.version != 0 ? result.version : msg.header.tag);
+      break;
+  }
+}
+
+void ExplorerProcess::request_keyframe(std::uint32_t version) {
+  if (nacked_any_ && version == last_nack_version_) return;
+  nacked_any_ = true;
+  last_nack_version_ = version;
+  weights_nack_counter_.inc();
+  // tag carries the newest version we hold — diagnostic only; the learner
+  // always answers with a standalone frame of its current weights.
+  (void)endpoint_.send(make_outbound(node_, {learner_}, MsgType::kWeightsReq,
+                                     empty_payload(), decoder_.version()));
 }
 
 void ExplorerProcess::ship_batch() {
@@ -130,9 +173,7 @@ void ExplorerProcess::ship_batch() {
       auto msg = endpoint_.receive_for(std::chrono::milliseconds(20));
       if (!msg) continue;
       if (msg->header.type == MsgType::kWeights) {
-        if (agent_->apply_weights(*msg->body, msg->header.tag)) {
-          weights_applied_counter_.inc();
-        }
+        handle_weights(*msg);
       } else if (msg->header.type == MsgType::kCommand) {
         stop_.store(true);
       }

@@ -6,6 +6,7 @@
 
 #include "algo/interfaces.h"
 #include "comm/endpoint.h"
+#include "compress/weight_codec.h"
 #include "envs/environment.h"
 #include "framework/deployment.h"
 #include "framework/supervisor.h"
@@ -48,6 +49,10 @@ class ExplorerProcess {
   void worker_loop();
   /// Drain the receive buffer; apply the newest weights; honor commands.
   void drain_inbox();
+  /// Decode one weights broadcast through the codec session; on a decode
+  /// error or base-version miss, request a keyframe instead of crashing.
+  void handle_weights(const Message& msg);
+  void request_keyframe(std::uint32_t version);
   void ship_batch();
   void report_episode(double episode_return, std::uint64_t episode_steps);
 
@@ -69,8 +74,20 @@ class ExplorerProcess {
   Counter& env_steps_counter_;
   Counter& batches_counter_;
   Counter& weights_applied_counter_;  ///< broadcasts actually applied here
+  Counter& weights_nack_counter_;     ///< keyframe requests sent upstream
+  Histogram& broadcast_ms_hist_;      ///< weights created -> applied here
   MetricsRegistry& metrics_;     ///< kernel-telemetry binding for the worker
   std::int64_t rollout_start_ns_ = 0;  ///< worker thread only
+
+  // Weight codec (DESIGN.md §11); worker thread only.
+  WeightCodecInstruments codec_instruments_;
+  WeightDecoderSession decoder_{&codec_instruments_};
+  /// Acks feed the learner's delta-base bookkeeping; pointless for
+  /// standalone codecs, so only base-referencing configs send them.
+  bool send_weight_acks_ = false;
+  /// One keyframe request per offending version, not one per frame.
+  std::uint32_t last_nack_version_ = 0;
+  bool nacked_any_ = false;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> crashed_{false};

@@ -25,8 +25,29 @@ LearnerProcess::LearnerProcess(NodeId node, Broker& broker,
           "xt_learner_wait_ms{machine=\"" + std::to_string(node.machine) + "\"}")),
       train_hist_(broker.metrics().histogram(
           "xt_learner_train_ms{machine=\"" + std::to_string(node.machine) + "\"}")),
+      keyframe_requests_counter_(broker.metrics().counter(
+          "xt_weights_keyframe_requests_total{machine=\"" +
+          std::to_string(node.machine) + "\"}")),
       steps_consumed_(initial_steps) {
   endpoint_.set_latency_recorder(&transmission_ms_);
+  const std::string machine = std::to_string(node_.machine);
+  codec_instruments_.encode_ms =
+      &metrics_.histogram("xt_weights_encode_ms{machine=\"" + machine + "\"}");
+  codec_instruments_.compression_ratio = &metrics_.histogram(
+      "xt_weights_compression_ratio{machine=\"" + machine + "\"}");
+  codec_instruments_.bytes_out = &metrics_.counter(
+      "xt_weights_bytes_total{codec=\"" +
+      std::string(weight_codec_name(config.weight_sync.codec)) + "\",machine=\"" +
+      machine + "\"}");
+  codec_instruments_.raw_bytes =
+      &metrics_.counter("xt_weights_raw_bytes_total{machine=\"" + machine + "\"}");
+  codec_instruments_.skipped =
+      &metrics_.counter("xt_weights_skipped_total{machine=\"" + machine + "\"}");
+  codec_instruments_.keyframes =
+      &metrics_.counter("xt_weights_keyframes_total{machine=\"" + machine + "\"}");
+  encoder_ = std::make_unique<WeightEncoderSession>(config.weight_sync,
+                                                    &codec_instruments_);
+  force_every_broadcast_ = algorithm_->explorers_block_on_weights();
   if (config.supervision.enabled) {
     heartbeat_ = std::make_unique<Heartbeater>(
         endpoint_, node_, controller_, config.supervision.heartbeat_every_s);
@@ -73,12 +94,33 @@ bool LearnerProcess::ingest(Message message) {
     case MsgType::kCommand:
       stop_.store(true);
       return false;
+    case MsgType::kWeightsAck:
+      // tag = the version this explorer applied; feeds delta-base selection.
+      encoder_->note_ack(message.header.src.name(), message.header.tag);
+      return true;
+    case MsgType::kWeightsReq:
+      // The explorer hit a decode error or a base-version miss (DESIGN.md
+      // §11 fallback protocol): restart its chain from a standalone frame.
+      keyframe_requests_counter_.inc();
+      send_keyframe(message.header.src);
+      return true;
     default:
       return true;
   }
 }
 
-void LearnerProcess::broadcast_weights(const std::vector<std::uint32_t>& respond_to) {
+void LearnerProcess::send_keyframe(const NodeId& dst) {
+  const std::uint32_t version = algorithm_->weights_version();
+  auto publish = encoder_->encode_keyframe(algorithm_->weights(), version);
+  Outbound out = make_outbound(node_, {dst}, MsgType::kWeights,
+                               std::move(publish.payload), version);
+  out.header.codec_id = static_cast<std::uint8_t>(publish.codec);
+  out.header.base_tag = 0;
+  (void)endpoint_.send(std::move(out));
+}
+
+void LearnerProcess::broadcast_weights(const std::vector<std::uint32_t>& respond_to,
+                                       bool force) {
   std::vector<NodeId> dsts;
   if (respond_to.empty()) {
     dsts = explorers_;
@@ -89,12 +131,26 @@ void LearnerProcess::broadcast_weights(const std::vector<std::uint32_t>& respond
     }
   }
   if (dsts.empty()) return;
-  // The trainer produces the message body (serialized parameters); the
-  // sender thread and router handle everything downstream.
+  // The trainer produces the message body (serialized parameters, run
+  // through the configured weight codec); the sender thread and router
+  // handle everything downstream.
   Bytes weights = algorithm_->weights();
-  (void)endpoint_.send(make_outbound(node_, std::move(dsts), MsgType::kWeights,
-                                     make_payload(std::move(weights)),
-                                     algorithm_->weights_version()));
+  const std::uint32_t version = algorithm_->weights_version();
+  std::vector<std::string> dst_keys;
+  dst_keys.reserve(dsts.size());
+  for (const NodeId& dst : dsts) dst_keys.push_back(dst.name());
+  auto publish = encoder_->encode(weights, version, dst_keys,
+                                  force || force_every_broadcast_);
+  if (!publish) {
+    // Lazy broadcast: the update norm was below threshold, nothing shipped.
+    weights_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Outbound out = make_outbound(node_, std::move(dsts), MsgType::kWeights,
+                               std::move(publish->payload), version);
+  out.header.codec_id = static_cast<std::uint8_t>(publish->codec);
+  out.header.base_tag = publish->base_version;
+  (void)endpoint_.send(std::move(out));
   broadcasts_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -106,7 +162,7 @@ void LearnerProcess::trainer_loop() {
   // seeded from a snapshot (PBT population cloning, checkpoint restore):
   // without it, on-policy algorithms would discard every fragment produced
   // under the explorers' unseeded weights and never train.
-  broadcast_weights({});
+  broadcast_weights({}, /*force=*/true);
   last_broadcast_version_ = algorithm_->weights_version();
 
   while (!stop_.load()) {

@@ -8,6 +8,7 @@
 #include "algo/interfaces.h"
 #include "comm/endpoint.h"
 #include "common/stats.h"
+#include "compress/weight_codec.h"
 #include "framework/checkpoint.h"
 #include "framework/deployment.h"
 #include "framework/supervisor.h"
@@ -50,6 +51,8 @@ class LearnerProcess {
   [[nodiscard]] std::uint64_t steps_consumed() const { return steps_consumed_.load(); }
   [[nodiscard]] int training_sessions() const { return sessions_.load(); }
   [[nodiscard]] std::uint64_t weight_broadcasts() const { return broadcasts_.load(); }
+  /// Weight versions the lazy-broadcast policy decided not to publish.
+  [[nodiscard]] std::uint64_t weights_skipped() const { return weights_skipped_.load(); }
   [[nodiscard]] std::uint64_t rollout_messages() const { return rollout_messages_.load(); }
   [[nodiscard]] std::uint64_t rollout_bytes() const { return rollout_bytes_.load(); }
 
@@ -69,7 +72,10 @@ class LearnerProcess {
  private:
   void trainer_loop();
   bool ingest(Message message);  ///< returns false on a stop command
-  void broadcast_weights(const std::vector<std::uint32_t>& respond_to);
+  void broadcast_weights(const std::vector<std::uint32_t>& respond_to,
+                         bool force = false);
+  /// Keyframe-request fallback: ship a standalone frame to one explorer.
+  void send_keyframe(const NodeId& dst);
 
   const NodeId node_;
   const NodeId controller_;
@@ -80,12 +86,22 @@ class LearnerProcess {
   std::unique_ptr<Heartbeater> heartbeat_;     ///< trainer thread only
   std::unique_ptr<Checkpointer> checkpointer_; ///< trainer thread only
 
+  // Weight codec (DESIGN.md §11). The encoder session and its instruments
+  // are trainer-thread-only; the counters/histograms themselves are
+  // thread-safe registry handles.
+  WeightCodecInstruments codec_instruments_;
+  std::unique_ptr<WeightEncoderSession> encoder_;  ///< trainer thread only
+  /// Lazy skipping deadlocks algorithms whose explorers block on every
+  /// version (PPO); resolved once from the algorithm.
+  bool force_every_broadcast_ = false;
+
   // Telemetry: histogram twins of the LatencyRecorders below (exported via
   // Prometheus / the runtime stats line) plus "app"-category trace spans.
   TraceCollector* trace_;
   MetricsRegistry& metrics_;
   Histogram& wait_hist_;
   Histogram& train_hist_;
+  Counter& keyframe_requests_counter_;  ///< kWeightsReq fallbacks served
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> crashed_{false};
@@ -93,6 +109,7 @@ class LearnerProcess {
   std::atomic<std::uint32_t> checkpoints_{0};
   std::atomic<int> sessions_{0};
   std::atomic<std::uint64_t> broadcasts_{0};
+  std::atomic<std::uint64_t> weights_skipped_{0};
   std::atomic<std::uint64_t> rollout_messages_{0};
   std::atomic<std::uint64_t> rollout_bytes_{0};
 

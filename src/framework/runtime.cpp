@@ -58,6 +58,45 @@ std::string profile_stats_suffix(
   return out.str();
 }
 
+/// Quantile across every histogram of a family, merged bucket by bucket
+/// (the family members share the default bucket layout; any member with a
+/// different layout is skipped rather than mis-merged). Mirrors
+/// Histogram::quantile's within-bucket linear interpolation.
+double family_quantile(const MetricsRegistry& registry, const std::string& family,
+                       double q) {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (name.compare(0, family.size(), family) != 0) continue;
+    if (name.size() > family.size() && name[family.size()] != '{') continue;
+    const auto bucket_counts = hist->bucket_counts();
+    if (bounds.empty()) {
+      bounds = hist->bounds();
+      counts.assign(bucket_counts.size(), 0);
+    }
+    if (bucket_counts.size() != counts.size()) continue;
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += bucket_counts[i];
+    total += hist->count();
+  }
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(seen + counts[i]) < target) {
+      seen += counts[i];
+      continue;
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : lo * 2.0;
+    const double within =
+        (target - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+    return lo + within * (hi - lo);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 /// Sum across every counter of the family (e.g. all links' labeled
 /// `xt_faults_injected_total{link="...",kind="..."}` series).
 std::uint64_t family_total(const MetricsRegistry& registry,
@@ -530,6 +569,18 @@ RunReport XingTianRuntime::run() {
   report.rollout_bytes = learner_->rollout_bytes();
   report.weight_broadcasts = learner_->weight_broadcasts();
   report.weights_applied = family_total(*metrics_, "xt_weights_applied_total");
+  // Weight-codec layer (DESIGN.md §11): encoded vs fp32-equivalent publish
+  // volume plus the lazy/keyframe/fallback protocol tallies.
+  report.weights_wire_bytes = family_total(*metrics_, "xt_weights_bytes_total");
+  report.weights_raw_bytes = family_total(*metrics_, "xt_weights_raw_bytes_total");
+  report.weights_skipped = family_total(*metrics_, "xt_weights_skipped_total");
+  report.weights_keyframes = family_total(*metrics_, "xt_weights_keyframes_total");
+  report.weights_keyframe_requests =
+      family_total(*metrics_, "xt_weights_keyframe_requests_total");
+  report.weights_decode_failures =
+      family_total(*metrics_, "xt_weights_decode_failures_total");
+  report.weights_broadcast_p99_ms =
+      family_quantile(*metrics_, "xt_weights_broadcast_ms", 0.99);
 
   // Robustness: chaos-fabric and supervision tallies (all zero when faults
   // are off and every worker stayed alive).

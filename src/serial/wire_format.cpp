@@ -11,7 +11,8 @@ namespace {
 /// Control-segment layout version; bumped whenever the encoding changes so a
 /// mixed-version simulation fails loudly instead of misparsing.
 /// v2: per-sub-frame traffic-class byte (overload arbitration, DESIGN.md §10).
-constexpr std::uint8_t kWireFormatVersion = 2;
+/// v3: weight-codec id + base-version per sub-frame (DESIGN.md §11).
+constexpr std::uint8_t kWireFormatVersion = 3;
 
 void encode_node(BinWriter& writer, const NodeId& id) {
   writer.u16(id.machine);
@@ -51,6 +52,8 @@ WireFrame encode_wire_frame(std::vector<WireSubFrame> subframes,
     writer.u64(header.uncompressed_size);
     writer.i64(header.created_ns);
     writer.u32(header.tag);
+    writer.u8(header.codec_id);
+    writer.u32(header.base_tag);
     if (frame.trace_id == 0) frame.trace_id = header.trace_id();
     frame.bodies.push_back(sub.body ? std::move(sub.body) : empty_payload());
   }
@@ -104,7 +107,7 @@ std::optional<std::vector<WireSubFrame>> decode_wire_frame(
       header.dsts.push_back(*dst);
     }
     const auto type = reader.u8();
-    if (!type || *type > static_cast<std::uint8_t>(MsgType::kHeartbeat)) {
+    if (!type || *type > static_cast<std::uint8_t>(MsgType::kWeightsReq)) {
       return std::nullopt;
     }
     header.type = static_cast<MsgType>(*type);
@@ -116,7 +119,10 @@ std::optional<std::vector<WireSubFrame>> decode_wire_frame(
     const auto uncompressed = reader.u64();
     const auto created = reader.i64();
     const auto tag = reader.u32();
-    if (!compressed || !body_size || !uncompressed || !created || !tag) {
+    const auto codec_id = reader.u8();
+    const auto base_tag = reader.u32();
+    if (!compressed || !body_size || !uncompressed || !created || !tag ||
+        !codec_id || !base_tag) {
       return std::nullopt;
     }
     header.compressed = *compressed;
@@ -124,6 +130,8 @@ std::optional<std::vector<WireSubFrame>> decode_wire_frame(
     header.uncompressed_size = *uncompressed;
     header.created_ns = *created;
     header.tag = *tag;
+    header.codec_id = *codec_id;
+    header.base_tag = *base_tag;
     header.link_seq = frame.link_seq;
     sub.body = frame.bodies[i];
     const std::size_t actual = sub.body ? sub.body->size() : 0;

@@ -248,6 +248,86 @@ TEST(ChaosRun, OverloadAndBlackoutShedExperienceWithoutFalseRespawns) {
   EXPECT_EQ(report.degraded_workers, 0u);
 }
 
+// --- Delta-coded weights under blackout + explorer death --------------------
+
+// The hardest case for base-referencing weight codecs (DESIGN.md §11): a
+// blackout straddles an in-flight delta chain, and an explorer dies and
+// respawns mid-chain with an empty decoder ring while the learner still
+// holds its stale ack. Whichever way each broadcast resolves — a delta the
+// survivor can still apply, an encoder keyframe fallback when the common
+// base ages out of the ring, or a kWeightsReq/keyframe round trip from the
+// respawned decoder — the run must keep applying weights and never wedge.
+TEST(ChaosRun, BlackoutStraddlingDeltaChainRecoversViaKeyframes) {
+  AlgoSetup setup;
+  setup.kind = AlgoKind::kImpala;
+  setup.env_name = "CartPole";
+  setup.seed = 9;
+  setup.impala.hidden = {16};
+  setup.impala.fragment_len = 50;
+
+  DeploymentConfig deployment;
+  deployment.explorers_per_machine = {0, 2};  // all weights cross the wire
+  deployment.learner_machine = 0;
+  // Wall-clock-bounded, not step-bounded: the injected death takes ~2s to
+  // detect (0.5s heartbeat timeout + 1.0s suspect grace + respawn rate
+  // limit), and a fast host would blow through any fixed step budget
+  // before the respawned explorer rejoins the chain.
+  deployment.max_steps_consumed = 0;
+  deployment.max_seconds = 6.0;
+
+  deployment.weight_sync.codec = WeightCodec::kDeltaInt8;
+  deployment.weight_sync.keyframe_every = 4;
+
+  deployment.link = LinkConfig{1e9, 10'000, 64};
+  deployment.link.faults.seed = 17;
+  deployment.link.faults.blackout_start_s = 0.3;
+  deployment.link.faults.blackout_duration_s = 0.8;
+
+  deployment.reliability.enabled = true;
+  deployment.reliability.rto_ms = 20.0;
+
+  deployment.supervision.enabled = true;
+  deployment.supervision.heartbeat_every_s = 0.1;
+  deployment.supervision.heartbeat_timeout_s = 0.5;
+  deployment.supervision.max_restarts_per_worker = 3;
+  deployment.supervision.suspect_grace_s = 1.0;
+  deployment.supervision.respawn_min_interval_s = 1.0;
+
+  XingTianRuntime runtime(setup, deployment);
+  std::atomic<bool> stop_killer{false};
+  std::thread killer([&] {
+    bool killed = false;
+    while (!stop_killer.load() && !killed) {
+      if (runtime.learner_steps() >= 300) {
+        runtime.inject_explorer_crash(0);
+        killed = true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  const RunReport report = runtime.run();
+  stop_killer.store(true);
+  killer.join();
+
+  EXPECT_GE(report.steps_consumed, 500u);
+  EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_GE(report.explorer_restarts, 1u);
+  // Weights kept flowing through the whole ordeal...
+  EXPECT_GT(report.weight_broadcasts, 0u);
+  EXPECT_GT(report.weights_applied, 0u);
+  // ...the chain restarted from truth at least once (cadence alone
+  // guarantees it at keyframe_every=4)...
+  EXPECT_GE(report.weights_keyframes, 1u);
+  // ...the codec actually shrank the broadcast traffic end to end...
+  EXPECT_GT(report.weights_wire_bytes, 0u);
+  EXPECT_LT(report.weights_wire_bytes, report.weights_raw_bytes);
+  // ...and no frame was ever misdecoded (blackouts lose frames, they must
+  // not corrupt the decode protocol).
+  EXPECT_EQ(report.weights_decode_failures, 0u);
+  EXPECT_EQ(report.degraded_workers, 0u);
+}
+
 // Without supervision a dead explorer stays dead — the run still finishes
 // (the surviving explorer feeds the learner) but nothing is restarted.
 TEST(ChaosRun, NoSupervisionMeansNoRestarts) {

@@ -413,6 +413,73 @@ respawn_min_interval_s = 2.0
   EXPECT_NE(error.find("bad respawn_min_interval_s"), std::string::npos);
 }
 
+TEST(ConfigFile, CodecSection) {
+  const std::string text = R"(
+[codec]
+weights = delta
+topk_fraction = 0.1
+keyframe_every = 32
+lazy_threshold = 0.05
+max_staleness = 12
+)";
+  std::string error;
+  const auto config = parse_launch_config(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  const WeightSyncConfig& codec = config->deployment.weight_sync;
+  EXPECT_EQ(codec.codec, WeightCodec::kDeltaInt8);
+  EXPECT_DOUBLE_EQ(codec.topk_fraction, 0.1);
+  EXPECT_EQ(codec.keyframe_every, 32u);
+  EXPECT_DOUBLE_EQ(codec.lazy_threshold, 0.05);
+  EXPECT_EQ(codec.max_staleness, 12u);
+}
+
+TEST(ConfigFile, CodecSectionDefaultsToFp32) {
+  const auto config = parse_launch_config("");
+  ASSERT_TRUE(config.has_value());
+  const WeightSyncConfig& codec = config->deployment.weight_sync;
+  EXPECT_EQ(codec.codec, WeightCodec::kFp32);
+  EXPECT_DOUBLE_EQ(codec.lazy_threshold, 0.0);  // lazy broadcast off
+}
+
+TEST(ConfigFile, CodecSectionAcceptsEveryCodecName) {
+  for (const char* name : {"fp32", "fp16", "bf16", "int8", "delta", "topk"}) {
+    std::string error;
+    const auto config = parse_launch_config(
+        std::string("[codec]\nweights = ") + name + "\n", &error);
+    ASSERT_TRUE(config.has_value()) << name << ": " << error;
+    EXPECT_STREQ(weight_codec_name(config->deployment.weight_sync.codec), name);
+  }
+}
+
+TEST(ConfigFile, CodecSectionRejectsOutOfRangeValues) {
+  // Exact bounds in every message — a bad codec config must fail loudly at
+  // parse time, never fall back to fp32 mid-run.
+  std::string error;
+  EXPECT_FALSE(parse_launch_config("[codec]\nweights = fp64\n", &error));
+  EXPECT_NE(error.find("bad weights codec 'fp64'"), std::string::npos);
+  EXPECT_NE(error.find("fp32, fp16, bf16, int8, delta, or topk"),
+            std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[codec]\ntopk_fraction = 0\n", &error));
+  EXPECT_NE(error.find("bad topk_fraction (want >0 and <=0.5)"),
+            std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[codec]\ntopk_fraction = 0.51\n"));
+  EXPECT_FALSE(parse_launch_config("[codec]\ntopk_fraction = -0.1\n"));
+  EXPECT_FALSE(parse_launch_config("[codec]\nkeyframe_every = 0\n", &error));
+  EXPECT_NE(error.find("bad keyframe_every (want 1..100000)"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[codec]\nkeyframe_every = 100001\n"));
+  EXPECT_FALSE(parse_launch_config("[codec]\nlazy_threshold = 1\n", &error));
+  EXPECT_NE(error.find("bad lazy_threshold"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[codec]\nlazy_threshold = -0.01\n"));
+  EXPECT_FALSE(parse_launch_config("[codec]\nmax_staleness = 0\n", &error));
+  EXPECT_NE(error.find("bad max_staleness (want 1..100000)"), std::string::npos);
+  EXPECT_FALSE(parse_launch_config("[codec]\nmax_staleness = 100001\n"));
+  EXPECT_FALSE(parse_launch_config("[codec]\nbogus = 1\n", &error));
+  EXPECT_NE(error.find("[codec]"), std::string::npos);
+  // Error messages stay line-tagged like every other section.
+  EXPECT_FALSE(parse_launch_config("\n\n[codec]\nweights = zstd\n", &error));
+  EXPECT_NE(error.find("line 4"), std::string::npos);
+}
+
 TEST(ConfigFile, CommSectionRejectsBadValues) {
   std::string error;
   EXPECT_FALSE(

@@ -55,6 +55,8 @@ TEST(PerfDiffDirection, InferredFromSuffix) {
   EXPECT_EQ(direction_for("entries.PPO.pull_ms"), Direction::kLowerBetter);
   EXPECT_EQ(direction_for("scope_ns"), Direction::kLowerBetter);
   EXPECT_EQ(direction_for("wall_seconds"), Direction::kLowerBetter);
+  EXPECT_EQ(direction_for("entries.int8.compression_ratio"),
+            Direction::kHigherBetter);
   EXPECT_EQ(direction_for("entries.PPO.rollout_kb"), Direction::kInfo);
   EXPECT_EQ(direction_for("pooled_threads"), Direction::kInfo);
 }

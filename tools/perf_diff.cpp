@@ -288,7 +288,8 @@ std::optional<JsonValue> parse_json(const std::string& text, std::string* error)
 Direction direction_for(const std::string& metric_id) {
   const std::string key = last_segment(metric_id);
   if (ends_with(key, "gflops") || ends_with(key, "throughput") ||
-      ends_with(key, "_per_s") || ends_with(key, "steps_per_second")) {
+      ends_with(key, "_per_s") || ends_with(key, "steps_per_second") ||
+      ends_with(key, "_ratio")) {
     return Direction::kHigherBetter;
   }
   if (ends_with(key, "_ms") || ends_with(key, "_ns") ||
